@@ -1,0 +1,62 @@
+"""E2 — Effect of the multiply split factors (physical operator tuning).
+
+Sweeps the tiles-per-task chunk size of the mult template for a fixed
+multiply and cluster.  Expected shape: a U-curve — tiny tasks pay scheduling
+startup and re-read inputs; huge tasks starve the slots (ragged last wave)
+and blow past slot memory.  The optimizer's chosen point sits at or near the
+bottom.
+"""
+
+from repro.core.optimizer import DEFAULT_MATMUL_OPTIONS
+from repro.core.physical import (
+    MatMulParams,
+    MatrixInfo,
+    Operand,
+    PhysicalContext,
+    build_matmul_jobs,
+)
+from repro.core.simcost import simulate_program
+from repro.hadoop.job import JobDag
+from repro.matrix.tiled import TileGrid
+
+from benchmarks.common import Table, reference_model, reference_spec, report
+
+TILE = 1024
+DIMENSION = 16384  # 16x16 tile grid
+CHUNKS = [1, 2, 4, 8, 16]
+
+
+def time_for_chunk(chunk: int) -> float:
+    context = PhysicalContext(TILE)
+    left = Operand(MatrixInfo("A", TileGrid(DIMENSION, DIMENSION, TILE)))
+    right = Operand(MatrixInfo("B", TileGrid(DIMENSION, DIMENSION, TILE)))
+    jobs = build_matmul_jobs("mm", left, right, "C", context,
+                             MatMulParams(chunk, chunk, 1))
+    return simulate_program(JobDag(jobs.jobs()), reference_spec(),
+                            reference_model()).seconds
+
+
+def build_series():
+    return [[f"{chunk}x{chunk}", chunk * chunk, time_for_chunk(chunk)]
+            for chunk in CHUNKS]
+
+
+def test_e02_split_size(benchmark):
+    rows = benchmark(build_series)
+    report(Table(
+        experiment="E02",
+        title="16384^2 multiply: task granularity sweep (tiles per task)",
+        headers=["chunk", "c_tiles_per_task", "time_s"],
+        rows=rows,
+    ))
+    times = [row[2] for row in rows]
+    best = min(times)
+    # U-shape: both extremes are worse than the best interior point.
+    assert times[0] > best
+    assert times[-1] > best
+    # The optimizer's candidate set contains a near-optimal chunk.
+    candidate_chunks = {params.tiles_per_task_i
+                        for params in DEFAULT_MATMUL_OPTIONS}
+    candidate_times = [time for chunk, time in zip(CHUNKS, times)
+                       if chunk in candidate_chunks]
+    assert min(candidate_times) <= 1.2 * best

@@ -1,0 +1,57 @@
+"""E3 — Effect of map slots per node (configuration tuning).
+
+Sweeps slots-per-node for a fixed 8-node c1.xlarge cluster (8 cores, 7 GB)
+running a memory-hungry multiply.  Expected shape: throughput improves while
+slots add usable parallelism, then degrades once co-resident working sets
+exceed node memory — the reason Cumulon tunes this setting instead of
+accepting Hadoop defaults.
+"""
+
+from repro.core.physical import (
+    MatMulParams,
+    MatrixInfo,
+    Operand,
+    PhysicalContext,
+    build_matmul_jobs,
+)
+from repro.core.simcost import simulate_program
+from repro.hadoop.job import JobDag
+from repro.matrix.tiled import TileGrid
+
+from benchmarks.common import Table, reference_model, reference_spec, report
+
+TILE = 4096  # big tiles -> memory-heavy tasks on a 7 GB node
+DIMENSION = 32768
+SLOTS = [1, 2, 4, 6, 8, 12, 16]
+
+
+def time_for_slots(slots: int) -> float:
+    context = PhysicalContext(TILE)
+    left = Operand(MatrixInfo("A", TileGrid(DIMENSION, DIMENSION, TILE)))
+    right = Operand(MatrixInfo("B", TileGrid(DIMENSION, DIMENSION, TILE)))
+    jobs = build_matmul_jobs("mm", left, right, "C", context,
+                             MatMulParams(1, 1, 1))
+    spec = reference_spec(nodes=8, slots=slots, instance="c1.xlarge")
+    return simulate_program(JobDag(jobs.jobs()), spec,
+                            reference_model()).seconds
+
+
+def build_series():
+    return [[slots, time_for_slots(slots)] for slots in SLOTS]
+
+
+def test_e03_slots_per_node(benchmark):
+    rows = benchmark(build_series)
+    report(Table(
+        experiment="E03",
+        title="32768^2 multiply on 8 x c1.xlarge: slots-per-node sweep",
+        headers=["slots_per_node", "time_s"],
+        rows=rows,
+    ))
+    times = {slots: time for slots, time in rows}
+    best_slots = min(times, key=times.get)
+    # Sweet spot is interior: more slots help at first...
+    assert times[2] < times[1]
+    assert 1 < best_slots < 16
+    # ...but memory pressure makes the maximum slot count a bad choice.
+    assert times[16] > times[best_slots] * 1.1

@@ -1,0 +1,89 @@
+"""E8 — End-to-end program suite: time and cost on the reference cluster.
+
+The paper's summary table: every evaluation workload, its job DAG size, its
+simulated wall-clock on the reference cluster, and the dollar cost under
+hourly billing.  Cumulon and SystemML columns side by side.
+"""
+
+from repro.baselines import compile_systemml_program
+from repro.cloud import HourlyBilling
+from repro.core.compiler import CompilerParams, compile_program
+from repro.core.optimizer import DEFAULT_MATMUL_OPTIONS
+from repro.core.physical import PhysicalContext
+from repro.core.simcost import simulate_program
+from repro.workloads import (
+    build_gnmf_program,
+    build_multiply_program,
+    build_normal_equations_program,
+    build_power_iteration_program,
+    build_rsvd_program,
+)
+
+from benchmarks.common import Table, reference_model, reference_spec, report
+
+TILE = 2048
+
+WORKLOADS = [
+    ("multiply 16384^3", build_multiply_program(16384, 16384, 16384)),
+    ("regression 1M x 4096", build_normal_equations_program(1048576, 4096)),
+    ("gnmf 20480x10240 r128 x1",
+     build_gnmf_program(20480, 10240, 128, iterations=1)),
+    ("rsvd-1 65536x16384 k2048",
+     build_rsvd_program(65536, 16384, 2048, power_iterations=1)),
+    ("pagerank 65536 x3",
+     build_power_iteration_program(65536, iterations=3,
+                                   adjacency_density=0.001)),
+]
+
+
+def tuned_cumulon_time(program, spec, model):
+    """Cumulon's optimizer tunes the split factors per program; mirror it."""
+    best = None
+    best_compiled = None
+    for matmul in DEFAULT_MATMUL_OPTIONS:
+        compiled = compile_program(program, PhysicalContext(TILE),
+                                   CompilerParams(matmul=matmul))
+        seconds = simulate_program(compiled.dag, spec, model).seconds
+        if best is None or seconds < best:
+            best, best_compiled = seconds, compiled
+    return best, best_compiled
+
+
+def build_series():
+    spec = reference_spec()
+    model = reference_model()
+    billing = HourlyBilling()
+    rows = []
+    for name, program in WORKLOADS:
+        t_cumulon, cumulon = tuned_cumulon_time(program, spec, model)
+        systemml = compile_systemml_program(program, PhysicalContext(TILE))
+        t_systemml = simulate_program(systemml.dag, spec, model).seconds
+        rows.append([
+            name,
+            len(list(cumulon.dag)),
+            t_cumulon,
+            billing.cost(spec, t_cumulon),
+            len(list(systemml.dag)),
+            t_systemml,
+            billing.cost(spec, t_systemml),
+        ])
+    return rows
+
+
+def test_e08_program_suite(benchmark):
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    report(Table(
+        experiment="E08",
+        title="Program suite on 8 x m1.large (2 slots), hourly billing",
+        headers=["program", "cu_jobs", "cu_time_s", "cu_cost",
+                 "sm_jobs", "sm_time_s", "sm_cost"],
+        rows=rows,
+    ))
+    for row in rows:
+        name, cu_jobs, cu_time, cu_cost, sm_jobs, sm_time, sm_cost = row
+        assert cu_time > 0 and sm_time > 0
+        assert cu_time <= sm_time, f"{name}: Cumulon must not lose"
+        assert cu_cost <= sm_cost
+    # Iterative workloads (GNMF) should show the clearest job-count gap.
+    gnmf = next(row for row in rows if row[0].startswith("gnmf"))
+    assert gnmf[4] >= gnmf[1]

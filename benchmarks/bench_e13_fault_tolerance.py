@@ -1,0 +1,98 @@
+"""E13 — Fault tolerance: failure overhead and speculative execution.
+
+Extension experiment (Hadoop-substrate behaviour the paper relies on):
+(a) how much wall-clock do injected task failures cost as the failure rate
+rises, and (b) how much of a degraded-node straggler penalty does
+speculative execution recover.  Expected shape: failure overhead grows
+roughly linearly in the failure rate (each failure wastes half an attempt
+plus a reschedule); with one 8x-slow node, speculation recovers most of the
+straggler tail at the price of a few killed duplicate attempts.
+"""
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.core.compiler import compile_program
+from repro.core.costmodel import CumulonCostModel
+from repro.core.physical import PhysicalContext
+from repro.hadoop.faults import RandomFailures
+from repro.hadoop.simulator import ClusterSimulator, FAILED, KILLED
+from repro.workloads import build_multiply_program
+
+from benchmarks.common import Table, report
+
+TILE = 1024
+DIMENSION = 16384
+
+
+def compiled_dag():
+    program = build_multiply_program(DIMENSION, DIMENSION, DIMENSION)
+    return compile_program(program, PhysicalContext(TILE)).dag
+
+
+def spec():
+    return ClusterSpec(get_instance_type("m1.large"), 8, 2)
+
+
+def failure_sweep():
+    model = CumulonCostModel()
+    rows = []
+    baseline = ClusterSimulator(spec(), model).run(compiled_dag()).makespan
+    for rate in (0.0, 0.02, 0.05, 0.10, 0.20):
+        failures = RandomFailures(probability=rate, seed=42, max_attempts=10)
+        result = ClusterSimulator(spec(), model,
+                                  failures=failures).run(compiled_dag())
+        rows.append([rate, result.makespan,
+                     result.count_attempts(FAILED),
+                     result.makespan / baseline])
+    return rows
+
+
+def speculation_cases():
+    model = CumulonCostModel()
+    rows = []
+    for label, slow, speculative in (
+        ("healthy, spec off", {}, False),
+        ("healthy, spec on", {}, True),
+        ("1 node 8x slow, spec off", {"m1.large-0": 8.0}, False),
+        ("1 node 8x slow, spec on", {"m1.large-0": 8.0}, True),
+    ):
+        sim = ClusterSimulator(spec(), model, speculative=speculative,
+                               slow_nodes=slow)
+        result = sim.run(compiled_dag())
+        rows.append([label, result.makespan, result.count_attempts(KILLED)])
+    return rows
+
+
+def test_e13a_failure_overhead(benchmark):
+    rows = benchmark.pedantic(failure_sweep, rounds=1, iterations=1)
+    report(Table(
+        experiment="E13a",
+        title="16384^2 multiply: makespan vs injected task-failure rate",
+        headers=["failure_rate", "makespan_s", "failed_attempts",
+                 "slowdown"],
+        rows=rows,
+    ))
+    slowdowns = [row[3] for row in rows]
+    assert slowdowns[0] == 1.0
+    # Overhead grows with the failure rate and stays bounded at 20%.
+    assert all(a <= b + 0.02 for a, b in zip(slowdowns, slowdowns[1:]))
+    assert slowdowns[-1] < 2.0
+    assert rows[-1][2] > rows[1][2]
+
+
+def test_e13b_speculation(benchmark):
+    rows = benchmark.pedantic(speculation_cases, rounds=1, iterations=1)
+    report(Table(
+        experiment="E13b",
+        title="16384^2 multiply: straggler node and speculative execution",
+        headers=["scenario", "makespan_s", "killed_attempts"],
+        rows=rows,
+    ))
+    times = {row[0]: row[1] for row in rows}
+    # A slow node hurts; speculation recovers a large share of the loss.
+    assert times["1 node 8x slow, spec off"] > 1.3 * times["healthy, spec off"]
+    recovered = (times["1 node 8x slow, spec off"]
+                 - times["1 node 8x slow, spec on"])
+    lost = (times["1 node 8x slow, spec off"] - times["healthy, spec off"])
+    assert recovered > 0.5 * lost
+    # On a healthy cluster speculation must not hurt.
+    assert times["healthy, spec on"] <= 1.05 * times["healthy, spec off"]

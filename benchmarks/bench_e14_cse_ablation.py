@@ -1,0 +1,77 @@
+"""E14 — Ablation: common-subexpression elimination.
+
+Extension experiment: iterative statistical programs recompute the same
+quantities (GNMF's W'V and W'W share W-scans; hand-written scripts often
+repeat whole products).  Cumulon-style compilers share those results inside
+one job DAG.  Expected shape: CSE removes jobs and time on programs with
+textual repetition, and never changes results (covered by the test suite).
+"""
+
+from repro.core.compiler import CompilerParams, compile_program
+from repro.core.physical import PhysicalContext
+from repro.core.program import Program
+from repro.core.simcost import simulate_program
+
+from benchmarks.common import Table, reference_model, reference_spec, report
+
+TILE = 2048
+N = 16384
+
+
+def repeated_product_program() -> Program:
+    """A script that writes A@B three times (as analysts do)."""
+    program = Program("repeat")
+    a = program.declare_input("A", N, N)
+    b = program.declare_input("B", N, N)
+    program.assign("C", (a @ b) + (a @ b).apply("abs"))
+    program.assign("D", (a @ b) * 0.1)
+    program.mark_output("C", "D")
+    return program
+
+
+def gram_reuse_program() -> Program:
+    """Two statistics over the same Gram matrix X'X (X tall and wide
+    enough that the duplicated multiply saturates the cluster)."""
+    program = Program("gram")
+    x = program.declare_input("X", 65536, 16384)
+    program.assign("S1", (x.T @ x) * (1.0 / 65536))
+    program.assign("S2", (x.T @ x).apply("abs"))
+    program.mark_output("S1", "S2")
+    return program
+
+
+CASES = [
+    ("repeated A@B x3", repeated_product_program),
+    ("Gram reuse X'X x2", gram_reuse_program),
+]
+
+
+def build_series():
+    spec = reference_spec()
+    model = reference_model()
+    rows = []
+    for name, factory in CASES:
+        with_cse = compile_program(factory(), PhysicalContext(TILE),
+                                   CompilerParams(cse_enabled=True))
+        without = compile_program(factory(), PhysicalContext(TILE),
+                                  CompilerParams(cse_enabled=False))
+        t_with = simulate_program(with_cse.dag, spec, model).seconds
+        t_without = simulate_program(without.dag, spec, model).seconds
+        rows.append([name, len(list(with_cse.dag)), t_with,
+                     len(list(without.dag)), t_without,
+                     t_without / t_with])
+    return rows
+
+
+def test_e14_cse_ablation(benchmark):
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    report(Table(
+        experiment="E14",
+        title="Common-subexpression elimination ablation (8 x m1.large)",
+        headers=["program", "cse_jobs", "cse_s",
+                 "nocse_jobs", "nocse_s", "speedup"],
+        rows=rows,
+    ))
+    for name, cse_jobs, t_cse, nocse_jobs, t_nocse, speedup in rows:
+        assert cse_jobs < nocse_jobs, f"{name}: CSE must remove jobs"
+        assert speedup > 1.3, f"{name}: CSE must pay off, got {speedup:.2f}"

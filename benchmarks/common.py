@@ -1,0 +1,73 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every experiment Exx regenerates one figure/table of the paper's evaluation:
+it computes the series, prints it, and writes it to
+``benchmarks/results/eXX_<name>.txt`` so EXPERIMENTS.md can be refreshed
+from the files.  All simulation experiments use the deterministic
+:data:`~repro.core.benchmarking.REFERENCE_COEFFICIENTS`, so numbers are
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.core.costmodel import CumulonCostModel
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The evaluation's default reference cluster (mirrors the paper's use of a
+#: mid-size general-purpose cluster for operator-level experiments).
+def reference_spec(nodes: int = 8, slots: int = 2,
+                   instance: str = "m1.large") -> ClusterSpec:
+    return ClusterSpec(get_instance_type(instance), nodes, slots)
+
+
+def reference_model() -> CumulonCostModel:
+    return CumulonCostModel()
+
+
+@dataclass
+class Table:
+    """A named experiment result: header row plus data rows."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+
+    def formatted(self) -> str:
+        widths = [len(str(h)) for h in self.headers]
+        str_rows = [[_fmt(cell) for cell in row] for row in self.rows]
+        for row in str_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w)
+                               for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def report(table: Table) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = table.formatted()
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{table.experiment.lower()}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

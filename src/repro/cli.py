@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``
+    Print the cloud instance catalog the optimizer searches.
+``explain WORKLOAD``
+    Compile a named workload and print its job-DAG EXPLAIN (or Graphviz
+    source with ``--dot``).
+``simulate WORKLOAD --instance TYPE --nodes N --slots S``
+    Predict the workload's wall-clock on one specific cluster.
+``optimize WORKLOAD (--deadline MIN | --budget USD)``
+    Search the deployment space and print the chosen plan.
+
+Workloads are the paper's evaluation programs at three preset scales
+(``--scale small|medium|large``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud import EC2_CATALOG, ClusterSpec, get_instance_type
+from repro.core.compiler import compile_program
+from repro.core.costmodel import CumulonCostModel
+from repro.core.explain import dag_to_dot, explain_plan, explain_program
+from repro.core.optimizer import DeploymentOptimizer, SearchSpace
+from repro.core.physical import PhysicalContext
+from repro.core.program import Program
+from repro.core.simcost import simulate_program
+from repro.errors import ReproError
+from repro.workloads import (
+    build_gnmf_program,
+    build_soft_kmeans_program,
+    build_logistic_program,
+    build_multiply_program,
+    build_normal_equations_program,
+    build_pca_program,
+    build_power_iteration_program,
+    build_rsvd_program,
+)
+
+#: scale name -> (rows-ish base dimension, tile size)
+SCALES = {
+    "small": (8192, 1024),
+    "medium": (32768, 2048),
+    "large": (131072, 4096),
+}
+
+
+def build_workload(name: str, scale: str) -> tuple[Program, int]:
+    """Instantiate a named workload at a preset scale."""
+    if scale not in SCALES:
+        raise ReproError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
+    base, tile = SCALES[scale]
+    if name == "multiply":
+        return build_multiply_program(base, base, base), tile
+    if name == "gnmf":
+        return build_gnmf_program(base, base // 2, 128, iterations=3), tile
+    if name == "rsvd":
+        return build_rsvd_program(base, base // 4, 2048,
+                                  power_iterations=1), tile
+    if name == "regression":
+        return build_normal_equations_program(base * 8, 4096), tile
+    if name == "pagerank":
+        return build_power_iteration_program(base, iterations=5,
+                                             adjacency_density=0.001), tile
+    if name == "logistic":
+        return build_logistic_program(base * 4, 2048, iterations=3,
+                                      learning_rate=0.01), tile
+    if name == "pca":
+        return build_pca_program(base * 4, 4096, 512), tile
+    if name == "kmeans":
+        return build_soft_kmeans_program(base * 4, 2048, 64,
+                                         iterations=3), tile
+    known = ("multiply, gnmf, rsvd, regression, pagerank, logistic, "
+             "pca, kmeans")
+    raise ReproError(f"unknown workload {name!r}; choose from: {known}")
+
+
+def cmd_catalog(args, out) -> int:
+    print(f"{'name':<12} {'cores':>5} {'mem_gb':>7} {'disk_MBps':>10} "
+          f"{'net_MBps':>9} {'speed':>6} {'$/hour':>7}", file=out)
+    for instance in EC2_CATALOG.values():
+        print(f"{instance.name:<12} {instance.cores:>5} "
+              f"{instance.memory_gb:>7.1f} "
+              f"{instance.disk_bandwidth / 2**20:>10.0f} "
+              f"{instance.network_bandwidth / 2**20:>9.0f} "
+              f"{instance.core_speed:>6.2f} "
+              f"{instance.price_per_hour:>7.3f}", file=out)
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    compiled = compile_program(program, PhysicalContext(tile))
+    if args.dot:
+        print(dag_to_dot(compiled.dag, name=program.name), file=out)
+    else:
+        print(explain_program(compiled), file=out)
+    return 0
+
+
+def cmd_simulate(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
+                       args.slots)
+    compiled = compile_program(program, PhysicalContext(tile))
+    estimate = simulate_program(compiled.dag, spec, CumulonCostModel())
+    print(estimate.describe(), file=out)
+    return 0
+
+
+def cmd_optimize(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    optimizer = DeploymentOptimizer(program, tile_size=tile)
+    space = SearchSpace(node_counts=(1, 2, 4, 8, 16, 32),
+                        slots_options=(1, 2, 4, 8))
+    if args.deadline is not None:
+        plan = optimizer.minimize_cost_under_deadline(args.deadline * 60.0,
+                                                      space)
+        print(f"cheapest plan within {args.deadline:g} min:", file=out)
+    else:
+        plan = optimizer.minimize_time_under_budget(args.budget, space)
+        print(f"fastest plan within ${args.budget:.2f}:", file=out)
+    print(explain_plan(plan), file=out)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cumulon reproduction: matrix programs in the cloud.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("catalog", help="print the instance catalog")
+
+    def add_workload_args(sub):
+        sub.add_argument("workload",
+                         help="multiply | gnmf | rsvd | regression | "
+                              "pagerank | logistic | pca | kmeans")
+        sub.add_argument("--scale", default="medium",
+                         choices=sorted(SCALES))
+
+    explain = subparsers.add_parser("explain", help="EXPLAIN a workload")
+    add_workload_args(explain)
+    explain.add_argument("--dot", action="store_true",
+                         help="emit Graphviz source instead of text")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="predict wall-clock on one cluster")
+    add_workload_args(simulate)
+    simulate.add_argument("--instance", default="m1.large")
+    simulate.add_argument("--nodes", type=int, default=8)
+    simulate.add_argument("--slots", type=int, default=2)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="search deployments under a constraint")
+    add_workload_args(optimize)
+    group = optimize.add_mutually_exclusive_group(required=True)
+    group.add_argument("--deadline", type=float,
+                       help="deadline in minutes (minimize cost)")
+    group.add_argument("--budget", type=float,
+                       help="budget in dollars (minimize time)")
+    return parser
+
+
+COMMANDS = {
+    "catalog": cmd_catalog,
+    "explain": cmd_explain,
+    "simulate": cmd_simulate,
+    "optimize": cmd_optimize,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Cloud instance types, modeled on the 2013-era Amazon EC2 catalog.
+
+Cumulon's optimizer searches jointly over instance type, cluster size, and
+per-node configuration (map slots).  The catalog below reproduces the shape
+of that search space: types differ in cores, memory, sequential I/O and
+network bandwidth, per-core compute speed, and hourly price, so no single
+type dominates and the best choice depends on the workload and the deadline.
+
+Prices and capacities are representative of 2013 us-east-1 on-demand rates;
+the *ratios* between types are what the experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One purchasable VM flavor."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    #: Sequential disk bandwidth shared by all slots on the node (bytes/s).
+    disk_bandwidth: float
+    #: Network bandwidth shared by all slots on the node (bytes/s).
+    network_bandwidth: float
+    #: Relative per-core compute speed (1.0 = the reference core used for
+    #: fitting the cost model's flops coefficient).
+    core_speed: float
+    #: On-demand price, US dollars per instance-hour.
+    price_per_hour: float
+    #: Local storage available to HDFS (bytes).
+    storage_bytes: int = 400 * 10**9
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValidationError(f"{self.name}: cores must be positive")
+        if self.price_per_hour <= 0:
+            raise ValidationError(f"{self.name}: price must be positive")
+        if min(self.disk_bandwidth, self.network_bandwidth,
+               self.core_speed, self.memory_gb) <= 0:
+            raise ValidationError(f"{self.name}: capacities must be positive")
+
+    @property
+    def max_slots(self) -> int:
+        """Hadoop admits configuring more slots than cores; cap at 2x cores."""
+        return 2 * self.cores
+
+
+_MB = 1024 * 1024
+
+#: The catalog the optimizer searches.  m1 = general purpose, c1 = compute
+#: optimized (fast cores, slim memory), m2 = memory optimized.
+EC2_CATALOG: dict[str, InstanceType] = {
+    instance.name: instance
+    for instance in [
+        InstanceType("m1.small", cores=1, memory_gb=1.7,
+                     disk_bandwidth=60 * _MB, network_bandwidth=30 * _MB,
+                     core_speed=0.5, price_per_hour=0.06,
+                     storage_bytes=160 * 10**9),
+        InstanceType("m1.medium", cores=1, memory_gb=3.75,
+                     disk_bandwidth=80 * _MB, network_bandwidth=50 * _MB,
+                     core_speed=1.0, price_per_hour=0.12,
+                     storage_bytes=410 * 10**9),
+        InstanceType("m1.large", cores=2, memory_gb=7.5,
+                     disk_bandwidth=100 * _MB, network_bandwidth=80 * _MB,
+                     core_speed=1.0, price_per_hour=0.24,
+                     storage_bytes=840 * 10**9),
+        InstanceType("m1.xlarge", cores=4, memory_gb=15.0,
+                     disk_bandwidth=120 * _MB, network_bandwidth=100 * _MB,
+                     core_speed=1.0, price_per_hour=0.48,
+                     storage_bytes=1680 * 10**9),
+        InstanceType("c1.medium", cores=2, memory_gb=1.7,
+                     disk_bandwidth=80 * _MB, network_bandwidth=50 * _MB,
+                     core_speed=1.25, price_per_hour=0.145,
+                     storage_bytes=350 * 10**9),
+        InstanceType("c1.xlarge", cores=8, memory_gb=7.0,
+                     disk_bandwidth=120 * _MB, network_bandwidth=100 * _MB,
+                     core_speed=1.25, price_per_hour=0.58,
+                     storage_bytes=1680 * 10**9),
+        InstanceType("m2.xlarge", cores=2, memory_gb=17.1,
+                     disk_bandwidth=110 * _MB, network_bandwidth=80 * _MB,
+                     core_speed=1.1, price_per_hour=0.41,
+                     storage_bytes=420 * 10**9),
+        InstanceType("m2.4xlarge", cores=8, memory_gb=68.4,
+                     disk_bandwidth=140 * _MB, network_bandwidth=120 * _MB,
+                     core_speed=1.1, price_per_hour=1.64,
+                     storage_bytes=1680 * 10**9),
+    ]
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up a catalog entry by name."""
+    try:
+        return EC2_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(EC2_CATALOG))
+        raise ValidationError(f"unknown instance type {name!r}; known: {known}") \
+            from None
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A provisioned cluster: one instance type, N nodes, S map slots each."""
+
+    instance_type: InstanceType
+    num_nodes: int
+    slots_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValidationError(f"num_nodes must be positive, got {self.num_nodes}")
+        if not 1 <= self.slots_per_node <= self.instance_type.max_slots:
+            raise ValidationError(
+                f"slots_per_node must be in [1, {self.instance_type.max_slots}] "
+                f"for {self.instance_type.name}, got {self.slots_per_node}"
+            )
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_nodes * self.slots_per_node
+
+    @property
+    def hourly_rate(self) -> float:
+        """Total cluster rental rate in dollars per hour."""
+        return self.num_nodes * self.instance_type.price_per_hour
+
+    def node_names(self) -> list[str]:
+        return [f"{self.instance_type.name}-{index}"
+                for index in range(self.num_nodes)]
+
+    def describe(self) -> str:
+        return (f"{self.num_nodes} x {self.instance_type.name} "
+                f"({self.slots_per_node} slots/node, "
+                f"${self.hourly_rate:.2f}/h)")

@@ -1,0 +1,469 @@
+"""Compilation of logical programs into Cumulon job DAGs.
+
+The pipeline per statement:
+
+1. **Normalize transposes** — push every transpose down to the leaves
+   (``(A+B)' -> A'+B'``, ``(AB)' -> B'A'``, ``A'' -> A``) so physical
+   operators only ever see a per-input "read transposed" flag, never a
+   materialized transpose.  Cumulon's storage reads tiles either way at the
+   same cost.
+2. **Fuse element-wise regions** — every maximal subtree of element-wise /
+   scalar / element-function operators compiles into ONE map-only job
+   evaluating the fused kernel in a single pass (the paper's answer to
+   MapReduce's one-op-per-job overhead).  Fusion can be disabled for the
+   E11 ablation.
+3. **Plan matrix multiplies** — each ``@`` becomes a *mult* job (plus an
+   *add* job when the inner dimension is split) with the
+   :class:`~repro.core.physical.MatMulParams` chosen by the optimizer.
+
+Variables use single-assignment storage names (``H@2`` is the binding of
+``H`` after its second assignment), so rebinding in loops is safe and
+aliasing (``B = A``) costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.expr import (
+    BINARY_OPERATORS,
+    ELEMENT_FUNCTIONS,
+    Binary,
+    Constant,
+    ElementFunc,
+    Expr,
+    MatMul,
+    ScalarOp,
+    Transpose,
+    Var,
+)
+from repro.core.physical import (
+    ElementwiseParams,
+    FusedKernel,
+    MatMulParams,
+    MatrixInfo,
+    Operand,
+    PhysicalContext,
+    build_elementwise_job,
+    build_matmul_jobs,
+)
+from repro.core.program import Program
+from repro.core.rewrite import reorder_matmul_chains, simplify
+from repro.errors import CompilationError
+from repro.hadoop.job import JobDag
+from repro.matrix.tiled import TileGrid, TiledMatrix
+
+
+@dataclass(frozen=True)
+class CompilerParams:
+    """Plan-level knobs the deployment optimizer searches over."""
+
+    matmul: MatMulParams = MatMulParams()
+    elementwise: ElementwiseParams = ElementwiseParams()
+    #: E11 ablation: when False, every element-wise operator gets its own job.
+    fusion_enabled: bool = True
+    #: Common-subexpression elimination: structurally identical
+    #: subexpressions over the same bindings compile once and are shared.
+    cse_enabled: bool = True
+    #: Matrix-chain reordering: re-associate multiply chains to minimize
+    #: flops (logical plan optimization; E15 ablation).
+    reorder_chains: bool = True
+    #: Algebraic simplification (identity scalars, scalar-chain folding).
+    simplify_enabled: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """A job DAG plus the mapping from program variables to stored matrices."""
+
+    program: Program
+    dag: JobDag
+    #: Final binding of each variable name -> stored matrix descriptor.
+    bindings: dict[str, MatrixInfo]
+    #: Descriptors of every matrix materialized by the program (temps too).
+    materialized: dict[str, MatrixInfo]
+    #: Output TiledMatrix handles (present only when compiled with attach_run).
+    output_matrices: dict[str, TiledMatrix] = field(default_factory=dict)
+
+    def output_info(self, name: str) -> MatrixInfo:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise CompilationError(f"no binding for variable {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Transpose normalization.
+# ---------------------------------------------------------------------------
+
+def normalize_transposes(expr: Expr) -> Expr:
+    """Rewrite so Transpose nodes appear only directly above Var leaves."""
+    if isinstance(expr, (Var, Constant)):
+        return expr
+    if isinstance(expr, Transpose):
+        return _push_transpose(expr.child)
+    if isinstance(expr, MatMul):
+        return MatMul(normalize_transposes(expr.left),
+                      normalize_transposes(expr.right))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, normalize_transposes(expr.left),
+                      normalize_transposes(expr.right))
+    if isinstance(expr, ScalarOp):
+        return ScalarOp(normalize_transposes(expr.child), expr.op, expr.scalar)
+    if isinstance(expr, ElementFunc):
+        return ElementFunc(normalize_transposes(expr.child), expr.func_name)
+    raise CompilationError(f"unknown node {type(expr).__name__}")
+
+
+def _push_transpose(expr: Expr) -> Expr:
+    """Return the normalized form of ``expr``-transposed."""
+    if isinstance(expr, Var):
+        return Transpose(expr)
+    if isinstance(expr, Constant):
+        # A constant fill is symmetric: transpose = swapped shape.
+        return Constant(expr.value, (expr.shape[1], expr.shape[0]))
+    if isinstance(expr, Transpose):
+        return normalize_transposes(expr.child)
+    if isinstance(expr, MatMul):
+        return MatMul(_push_transpose(expr.right), _push_transpose(expr.left))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, _push_transpose(expr.left),
+                      _push_transpose(expr.right))
+    if isinstance(expr, ScalarOp):
+        return ScalarOp(_push_transpose(expr.child), expr.op, expr.scalar)
+    if isinstance(expr, ElementFunc):
+        return ElementFunc(_push_transpose(expr.child), expr.func_name)
+    raise CompilationError(f"unknown node {type(expr).__name__}")
+
+
+def _is_elementwise(expr: Expr) -> bool:
+    return isinstance(expr, (Binary, ScalarOp, ElementFunc))
+
+
+def _is_leaf_reference(expr: Expr) -> bool:
+    """Var/Constant or a transposed Var — readable by a physical operator."""
+    return isinstance(expr, (Var, Constant)) or (
+        isinstance(expr, Transpose) and isinstance(expr.child, Var)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The compiler.
+# ---------------------------------------------------------------------------
+
+class Compiler:
+    """Compiles one :class:`Program` into a :class:`CompiledProgram`."""
+
+    def __init__(self, context: PhysicalContext,
+                 params: CompilerParams | None = None):
+        self.context = context
+        self.params = params if params is not None else CompilerParams()
+        self._dag = JobDag()
+        self._env: dict[str, tuple[MatrixInfo, frozenset[str]]] = {}
+        self._materialized: dict[str, MatrixInfo] = {}
+        self._versions: dict[str, int] = {}
+        self._job_counter = 0
+        self._temp_counter = 0
+        self._output_matrices: dict[str, TiledMatrix] = {}
+        self._constants: dict[tuple[float, tuple[int, int]], MatrixInfo] = {}
+        #: CSE memo: structural key -> (materialized info, producing jobs).
+        self._cse: dict[tuple, tuple[MatrixInfo, frozenset[str]]] = {}
+
+    # -- public entry -------------------------------------------------------
+
+    def compile(self, program: Program) -> CompiledProgram:
+        for name, var in program.inputs.items():
+            grid = TileGrid(var.shape[0], var.shape[1], self.context.tile_size)
+            info = MatrixInfo(name, grid, var.density)
+            self._env[name] = (info, frozenset())
+            self._materialized[name] = info
+        for statement in program.statements:
+            self._compile_statement(statement.target, statement.expr)
+        bindings = {name: info for name, (info, __) in self._env.items()}
+        return CompiledProgram(
+            program=program,
+            dag=self._dag,
+            bindings=bindings,
+            materialized=dict(self._materialized),
+            output_matrices=dict(self._output_matrices),
+        )
+
+    # -- naming -------------------------------------------------------------
+
+    def _storage_name(self, target: str) -> str:
+        version = self._versions.get(target, 0) + 1
+        self._versions[target] = version
+        return f"{target}@{version}"
+
+    def _temp_name(self) -> str:
+        self._temp_counter += 1
+        return f"_tmp{self._temp_counter}"
+
+    def _job_id(self, hint: str) -> str:
+        self._job_counter += 1
+        return f"j{self._job_counter}-{hint}"
+
+    # -- statement compilation ----------------------------------------------
+
+    def _compile_statement(self, target: str, expr: Expr) -> None:
+        expr = normalize_transposes(expr)
+        if self.params.simplify_enabled:
+            expr = simplify(expr)
+        if self.params.reorder_chains:
+            expr = reorder_matmul_chains(expr)
+        if isinstance(expr, Var):
+            # Pure alias: matrices are immutable, so share the binding.
+            self._env[target] = self._lookup(expr.name)
+            return
+        if self.params.cse_enabled:
+            key = self._structural_key(expr)
+            if key in self._cse:
+                # The value was already computed: alias the binding.
+                self._env[target] = self._cse[key]
+                return
+            info, deps = self._materialize(expr, self._storage_name(target))
+            self._cse[key] = (info, deps)
+        else:
+            info, deps = self._materialize(expr, self._storage_name(target))
+        self._env[target] = (info, deps)
+
+    def _structural_key(self, expr: Expr) -> tuple:
+        """Hashable identity of an expression *value* under current bindings.
+
+        Variables key on their storage name (the specific version bound
+        right now), so rebinding in a loop correctly invalidates reuse.
+        """
+        if isinstance(expr, Var):
+            info, __ = self._lookup(expr.name)
+            return ("var", info.name)
+        if isinstance(expr, Constant):
+            return ("const", expr.value, expr.shape)
+        if isinstance(expr, Transpose):
+            return ("t", self._structural_key(expr.child))
+        if isinstance(expr, MatMul):
+            return ("mm", self._structural_key(expr.left),
+                    self._structural_key(expr.right))
+        if isinstance(expr, Binary):
+            return (expr.op, self._structural_key(expr.left),
+                    self._structural_key(expr.right))
+        if isinstance(expr, ScalarOp):
+            return ("s" + expr.op, expr.scalar,
+                    self._structural_key(expr.child))
+        if isinstance(expr, ElementFunc):
+            return (expr.func_name, self._structural_key(expr.child))
+        raise CompilationError(f"unknown node {type(expr).__name__}")
+
+    def _lookup(self, name: str) -> tuple[MatrixInfo, frozenset[str]]:
+        try:
+            return self._env[name]
+        except KeyError:
+            raise CompilationError(f"unbound variable {name!r}") from None
+
+    # -- expression compilation ------------------------------------------------
+
+    def _materialize(self, expr: Expr,
+                     output_name: str) -> tuple[MatrixInfo, frozenset[str]]:
+        """Emit jobs computing ``expr`` into a matrix named ``output_name``."""
+        if isinstance(expr, MatMul):
+            return self._materialize_matmul(expr, output_name)
+        if _is_elementwise(expr):
+            if self.params.fusion_enabled:
+                return self._materialize_fused(expr, output_name)
+            return self._materialize_unfused(expr, output_name)
+        if _is_leaf_reference(expr):
+            # A bare transposed reference must be physically re-tiled.
+            return self._materialize_fused(expr, output_name)
+        raise CompilationError(
+            f"cannot materialize node {type(expr).__name__}"
+        )
+
+    def _materialize_matmul(self, expr: MatMul,
+                            output_name: str) -> tuple[MatrixInfo, frozenset[str]]:
+        left, left_deps = self._as_operand(expr.left)
+        right, right_deps = self._as_operand(expr.right)
+        jobs = build_matmul_jobs(
+            self._job_id(f"mul-{output_name}"), left, right, output_name,
+            self.context, self.params.matmul,
+            depends_on=set(left_deps | right_deps),
+            output_density=expr.density,
+        )
+        for job in jobs.jobs():
+            self._dag.add(job)
+        self._materialized[output_name] = jobs.output
+        final_job = jobs.add_job or jobs.mult_job
+        if self.context.attach_run:
+            self._output_matrices[output_name] = TiledMatrix(
+                jobs.output.name, jobs.output.grid, self.context.backing
+            )
+        return jobs.output, frozenset({final_job.job_id})
+
+    def _as_operand(self, expr: Expr) -> tuple[Operand, frozenset[str]]:
+        """Turn a subexpression into a readable operand, materializing if
+        it is not already a stored matrix (or a transposed view of one)."""
+        if isinstance(expr, Var):
+            info, deps = self._lookup(expr.name)
+            return Operand(info), deps
+        if isinstance(expr, Constant):
+            return Operand(self._constant_info(expr)), frozenset()
+        if isinstance(expr, Transpose) and isinstance(expr.child, Var):
+            info, deps = self._lookup(expr.child.name)
+            return Operand(info, transposed=True), deps
+        if self.params.cse_enabled:
+            key = self._structural_key(expr)
+            if key in self._cse:
+                info, deps = self._cse[key]
+                return Operand(info), deps
+            info, deps = self._materialize(expr, self._temp_name())
+            self._cse[key] = (info, deps)
+            return Operand(info), deps
+        info, deps = self._materialize(expr, self._temp_name())
+        return Operand(info), deps
+
+    def _constant_info(self, expr: Constant) -> MatrixInfo:
+        """Materialize a constant matrix once per distinct (value, shape).
+
+        Constants are written at compile time (no job needed): Cumulon
+        generates them on the fly inside tasks; pre-writing them here keeps
+        the execution path uniform while costing no cluster work in the
+        simulated plans (their jobs read them like any HDFS input).
+        """
+        key = (expr.value, expr.shape)
+        if key not in self._constants:
+            name = f"_const{len(self._constants) + 1}"
+            grid = TileGrid(expr.shape[0], expr.shape[1],
+                            self.context.tile_size)
+            info = MatrixInfo(name, grid, expr.density)
+            if self.context.attach_run:
+                matrix = TiledMatrix(name, grid, self.context.backing)
+                for row, col in grid.positions():
+                    shape = grid.tile_shape(row, col)
+                    matrix.put_tile(row, col, np.full(shape, expr.value))
+            self._materialized[name] = info
+            self._constants[key] = info
+        return self._constants[key]
+
+    def _materialize_fused(self, expr: Expr,
+                           output_name: str) -> tuple[MatrixInfo, frozenset[str]]:
+        operands: list[Operand] = []
+        deps: set[str] = set()
+        evaluator, n_operators = self._build_kernel(expr, operands, deps)
+        kernel = FusedKernel(operands, evaluator, n_operators,
+                             label=f"ew -> {output_name}", shape=expr.shape)
+        grid = TileGrid(expr.shape[0], expr.shape[1], self.context.tile_size)
+        output = MatrixInfo(output_name, grid, expr.density)
+        output_matrix = None
+        if self.context.attach_run:
+            output_matrix = TiledMatrix(output_name, grid, self.context.backing)
+            self._output_matrices[output_name] = output_matrix
+        job = build_elementwise_job(
+            self._job_id(f"ew-{output_name}"), kernel, output, self.context,
+            self.params.elementwise, depends_on=deps,
+            output_matrix=output_matrix,
+        )
+        self._dag.add(job)
+        self._materialized[output_name] = output
+        return output, frozenset({job.job_id})
+
+    def _build_kernel(self, expr: Expr, operands: list[Operand],
+                      deps: set[str]):
+        """Recursively build the fused evaluator.  Returns (fn, op_count)."""
+        if _is_leaf_reference(expr) or isinstance(expr, MatMul):
+            operand, operand_deps = self._as_operand(expr)
+            deps |= operand_deps
+            index = len(operands)
+            operands.append(operand)
+            return (lambda *args: args[index]), 0
+        if isinstance(expr, Binary):
+            left_fn, left_ops = self._build_kernel(expr.left, operands, deps)
+            right_fn, right_ops = self._build_kernel(expr.right, operands, deps)
+            func = BINARY_OPERATORS[expr.op]
+            return (lambda *args: func(left_fn(*args), right_fn(*args)),
+                    left_ops + right_ops + 1)
+        if isinstance(expr, ScalarOp):
+            child_fn, child_ops = self._build_kernel(expr.child, operands, deps)
+            scalar = expr.scalar
+            if expr.op == "add":
+                return (lambda *args: child_fn(*args) + scalar), child_ops + 1
+            return (lambda *args: child_fn(*args) * scalar), child_ops + 1
+        if isinstance(expr, ElementFunc):
+            child_fn, child_ops = self._build_kernel(expr.child, operands, deps)
+            func = ELEMENT_FUNCTIONS[expr.func_name]
+            return (lambda *args: func(child_fn(*args))), child_ops + 1
+        if isinstance(expr, Transpose):
+            # Normalization leaves transposes only on Var leaves, handled
+            # by the leaf branch above; anything else is a compiler bug.
+            raise CompilationError(
+                "transpose survived normalization above a non-leaf"
+            )
+        raise CompilationError(f"unknown node {type(expr).__name__}")
+
+    def _materialize_unfused(self, expr: Expr,
+                             output_name: str) -> tuple[MatrixInfo, frozenset[str]]:
+        """E11 ablation: one job per element-wise operator."""
+        if isinstance(expr, Binary):
+            left, left_deps = self._as_operand_unfused(expr.left)
+            right, right_deps = self._as_operand_unfused(expr.right)
+            func = BINARY_OPERATORS[expr.op]
+            kernel = FusedKernel([left, right],
+                                 lambda a, b: func(a, b), 1,
+                                 label=f"{expr.op} -> {output_name}")
+            return self._emit_single_kernel(kernel, expr, output_name,
+                                            left_deps | right_deps)
+        if isinstance(expr, ScalarOp):
+            child, child_deps = self._as_operand_unfused(expr.child)
+            scalar, op = expr.scalar, expr.op
+            fn = ((lambda a: a + scalar) if op == "add"
+                  else (lambda a: a * scalar))
+            kernel = FusedKernel([child], fn, 1,
+                                 label=f"scalar-{op} -> {output_name}")
+            return self._emit_single_kernel(kernel, expr, output_name,
+                                            child_deps)
+        if isinstance(expr, ElementFunc):
+            child, child_deps = self._as_operand_unfused(expr.child)
+            func = ELEMENT_FUNCTIONS[expr.func_name]
+            kernel = FusedKernel([child], lambda a: func(a), 1,
+                                 label=f"{expr.func_name} -> {output_name}")
+            return self._emit_single_kernel(kernel, expr, output_name,
+                                            child_deps)
+        if _is_leaf_reference(expr):
+            operand, deps = self._as_operand(expr)
+            kernel = FusedKernel([operand], lambda a: a, 1,
+                                 label=f"copy -> {output_name}")
+            return self._emit_single_kernel(kernel, expr, output_name, deps)
+        raise CompilationError(
+            f"unfused materialization got {type(expr).__name__}"
+        )
+
+    def _as_operand_unfused(self, expr: Expr) -> tuple[Operand, frozenset[str]]:
+        """Operand for the unfused path: element-wise children become temps."""
+        if _is_elementwise(expr):
+            info, deps = self._materialize_unfused(expr, self._temp_name())
+            return Operand(info), deps
+        return self._as_operand(expr)
+
+    def _emit_single_kernel(self, kernel: FusedKernel, expr: Expr,
+                            output_name: str,
+                            deps: frozenset[str] | set[str]
+                            ) -> tuple[MatrixInfo, frozenset[str]]:
+        grid = TileGrid(expr.shape[0], expr.shape[1], self.context.tile_size)
+        output = MatrixInfo(output_name, grid, expr.density)
+        output_matrix = None
+        if self.context.attach_run:
+            output_matrix = TiledMatrix(output_name, grid, self.context.backing)
+            self._output_matrices[output_name] = output_matrix
+        job = build_elementwise_job(
+            self._job_id(f"op-{output_name}"), kernel, output, self.context,
+            self.params.elementwise, depends_on=set(deps),
+            output_matrix=output_matrix,
+        )
+        self._dag.add(job)
+        self._materialized[output_name] = output
+        return output, frozenset({job.job_id})
+
+
+def compile_program(program: Program, context: PhysicalContext,
+                    params: CompilerParams | None = None) -> CompiledProgram:
+    """Convenience wrapper: compile ``program`` in one call."""
+    return Compiler(context, params).compile(program)

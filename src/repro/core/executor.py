@@ -1,0 +1,110 @@
+"""End-to-end execution of Cumulon programs on real data.
+
+``CumulonExecutor`` is the high-level entry point used by the examples and
+the correctness tests: give it a :class:`~repro.core.program.Program` and
+numpy inputs, it loads them into a tile backing, compiles the program into a
+job DAG with real tile-kernel closures, runs the DAG on the local executor,
+and hands back the outputs as numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
+from repro.core.physical import PhysicalContext
+from repro.core.program import Program
+from repro.errors import ExecutionError, ValidationError
+from repro.hadoop.local import LocalExecutor, LocalRunReport
+from repro.matrix.tiled import DEFAULT_TILE_SIZE, DenseBacking, TileBacking, TiledMatrix
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus execution provenance."""
+
+    outputs: dict[str, np.ndarray]
+    report: LocalRunReport
+    compiled: CompiledProgram
+    tiled_outputs: dict[str, TiledMatrix] = field(default_factory=dict)
+
+    def output(self, name: str) -> np.ndarray:
+        try:
+            return self.outputs[name]
+        except KeyError:
+            raise ExecutionError(f"program produced no output {name!r}") from None
+
+
+class CumulonExecutor:
+    """Compile-and-run front end over the local execution engine."""
+
+    def __init__(self, tile_size: int = DEFAULT_TILE_SIZE,
+                 max_workers: int = 4,
+                 params: CompilerParams | None = None,
+                 backing: TileBacking | None = None):
+        self.tile_size = tile_size
+        self.max_workers = max_workers
+        self.params = params if params is not None else CompilerParams()
+        self.backing = backing if backing is not None else DenseBacking()
+
+    def run(self, program: Program,
+            inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
+        """Execute ``program`` with the given numpy inputs."""
+        inputs = inputs or {}
+        self._load_inputs(program, inputs)
+        context = PhysicalContext(self.tile_size, self.backing, attach_run=True)
+        compiled = compile_program(program, context, self.params)
+        executor = LocalExecutor(max_workers=self.max_workers)
+        report = executor.run(compiled.dag)
+        outputs, tiled = self._collect_outputs(program, compiled)
+        return ExecutionResult(outputs, report, compiled, tiled)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _load_inputs(self, program: Program,
+                     inputs: dict[str, np.ndarray]) -> None:
+        missing = set(program.inputs) - set(inputs)
+        if missing:
+            raise ValidationError(
+                f"program {program.name!r} is missing inputs: {sorted(missing)}"
+            )
+        extra = set(inputs) - set(program.inputs)
+        if extra:
+            raise ValidationError(
+                f"unknown inputs for program {program.name!r}: {sorted(extra)}"
+            )
+        for name, array in inputs.items():
+            declared = program.inputs[name].shape
+            array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+            if array.shape != declared:
+                raise ValidationError(
+                    f"input {name!r} has shape {array.shape}, "
+                    f"declared {declared}"
+                )
+            TiledMatrix.from_numpy(name, array, self.tile_size, self.backing)
+
+    def _collect_outputs(self, program: Program, compiled: CompiledProgram
+                         ) -> tuple[dict[str, np.ndarray], dict[str, TiledMatrix]]:
+        names = program.outputs or [
+            statement.target for statement in program.statements[-1:]
+        ]
+        outputs: dict[str, np.ndarray] = {}
+        tiled: dict[str, TiledMatrix] = {}
+        for name in names:
+            info = compiled.output_info(name)
+            matrix = TiledMatrix(info.name, info.grid, self.backing)
+            tiled[name] = matrix
+            outputs[name] = matrix.to_numpy()
+        return outputs, tiled
+
+
+def run_program(program: Program, inputs: dict[str, np.ndarray] | None = None,
+                tile_size: int = DEFAULT_TILE_SIZE,
+                max_workers: int = 4,
+                params: CompilerParams | None = None) -> ExecutionResult:
+    """One-shot convenience: execute ``program`` and return its results."""
+    executor = CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
+                               params=params)
+    return executor.run(program, inputs)

@@ -1,0 +1,101 @@
+"""EXPLAIN for Cumulon plans: human-readable and graphviz renderings.
+
+``explain_program`` prints the job DAG the way a database EXPLAIN prints an
+operator tree — per job: template, task count, bytes in/out, flops, and
+dependencies.  ``dag_to_dot`` emits Graphviz source for papers/notebooks.
+``explain_plan`` summarizes a deployment plan end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompiledProgram
+from repro.core.plans import DeploymentPlan
+from repro.hadoop.job import Job, JobDag, JobKind
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}TB"  # pragma: no cover - loop always returns
+
+
+def _human_flops(count: int) -> str:
+    value = float(count)
+    for unit in ("", "K", "M", "G", "T"):
+        if value < 1000 or unit == "T":
+            return f"{value:.1f}{unit}F" if unit else f"{int(value)}F"
+        value /= 1000
+    return f"{value:.1f}TF"  # pragma: no cover - loop always returns
+
+
+def explain_job(job: Job) -> str:
+    """One-line summary of a job's shape and resource demands."""
+    kind = "MAP" if job.kind is JobKind.MAP_ONLY else "MR "
+    parts = [
+        f"[{kind}] {job.job_id}",
+        f"maps={len(job.map_tasks)}",
+    ]
+    if job.reduce_tasks:
+        parts.append(f"reduces={len(job.reduce_tasks)}")
+    if job.shuffle_bytes:
+        parts.append(f"shuffle={_human_bytes(job.shuffle_bytes)}")
+    parts.append(f"read={_human_bytes(job.total_bytes_read())}")
+    parts.append(f"write={_human_bytes(job.total_bytes_written())}")
+    parts.append(f"compute={_human_flops(job.total_flops())}")
+    if job.label:
+        parts.append(f"({job.label})")
+    return " ".join(parts)
+
+
+def explain_program(compiled: CompiledProgram) -> str:
+    """Multi-line EXPLAIN of a compiled program."""
+    lines = [f"program {compiled.program.name}: "
+             f"{len(list(compiled.dag))} jobs, "
+             f"{compiled.dag.num_tasks()} tasks"]
+    for job in compiled.dag.topological_order():
+        indent = "  " if not job.depends_on else "    "
+        deps = (f" <- {', '.join(sorted(job.depends_on))}"
+                if job.depends_on else "")
+        lines.append(f"{indent}{explain_job(job)}{deps}")
+    for name in compiled.program.outputs:
+        info = compiled.output_info(name)
+        lines.append(f"  output {name}: {info.shape[0]}x{info.shape[1]} "
+                     f"as {info.name} ({_human_bytes(info.total_bytes())})")
+    return "\n".join(lines)
+
+
+def explain_plan(plan: DeploymentPlan) -> str:
+    """Summary of a deployment decision."""
+    lines = [
+        f"deploy on {plan.spec.describe()}",
+        f"  estimated time: {plan.estimated_seconds:.0f}s "
+        f"({plan.estimated_seconds / 3600:.2f}h)",
+        f"  estimated cost: ${plan.estimated_cost:.2f}",
+        f"  multiply split: {plan.compiler_params.matmul}",
+        f"  elementwise tiles/task: "
+        f"{plan.compiler_params.elementwise.tiles_per_task}",
+    ]
+    if plan.tile_size:
+        lines.append(f"  storage tile size: {plan.tile_size}")
+    return "\n".join(lines)
+
+
+def dag_to_dot(dag: JobDag, name: str = "plan") -> str:
+    """Graphviz source for a job DAG (render with ``dot -Tpng``)."""
+    lines = [f'digraph "{name}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontname=monospace];"]
+    for job in dag.topological_order():
+        shape_color = ("lightblue" if job.kind is JobKind.MAP_ONLY
+                       else "lightsalmon")
+        label = (f"{job.job_id}\\n{len(job.map_tasks)}m"
+                 + (f"+{len(job.reduce_tasks)}r" if job.reduce_tasks else ""))
+        lines.append(f'  "{job.job_id}" [label="{label}", '
+                     f'style=filled, fillcolor={shape_color}];')
+    for job in dag.topological_order():
+        for dep in sorted(job.depends_on):
+            lines.append(f'  "{dep}" -> "{job.job_id}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""The deployment optimizer: benchmarking + simulation + modeling + search.
+
+Given a program and a time or money constraint, the optimizer chooses —
+jointly, as the paper emphasizes — the physical plan parameters (matmul
+split factors, element-wise task granularity), the instance type, the
+cluster size, and the slots-per-node configuration.
+
+The pipeline mirrors the paper:
+
+1. coefficients fitted by **benchmarking** (:mod:`repro.core.benchmarking`);
+2. each candidate deployment priced by **modeling** each task and
+   **simulating** the slot scheduler (:mod:`repro.core.simcost`);
+3. **search** over the deployment space — exhaustive over the (pruned) grid,
+   with physical parameters tuned *per cluster spec* (a split factor good on
+   4 fat nodes is bad on 32 thin ones), plus a hill-climbing variant for
+   larger spaces.
+
+Costs follow the billing model (hourly by default), which is what makes the
+cost-versus-deadline curve a step function (E6).
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.cloud.instances import EC2_CATALOG, ClusterSpec, InstanceType
+from repro.cloud.pricing import DEFAULT_BILLING, BillingModel
+from repro.cloud.provisioning import DEFAULT_STARTUP_SECONDS
+from repro.core.benchmarking import HardwareCoefficients
+from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
+from repro.core.costmodel import CostModelConfig, CumulonCostModel
+from repro.core.physical import ElementwiseParams, MatMulParams, PhysicalContext
+from repro.core.plans import (
+    DeploymentPlan,
+    cheapest_within_deadline,
+    fastest_within_budget,
+    skyline,
+)
+from repro.core.program import Program
+from repro.core.simcost import simulate_program
+from repro.errors import InfeasibleConstraintError, ValidationError
+
+#: Default search grid.
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+DEFAULT_MATMUL_OPTIONS = (
+    MatMulParams(1, 1, 1),
+    MatMulParams(2, 2, 1),
+    MatMulParams(1, 1, 2),
+    MatMulParams(2, 2, 2),
+    MatMulParams(4, 4, 1),
+    # Deep inner-dimension splits: essential for Gram-matrix shapes
+    # (X'X with a tall X), where an unsplit task would buffer an entire
+    # tile strip and blow past slot memory.
+    MatMulParams(1, 1, 8),
+    MatMulParams(1, 1, 32),
+    MatMulParams(1, 1, 128),
+)
+
+
+@dataclass
+class SearchSpace:
+    """The grid of deployment choices the optimizer enumerates."""
+
+    instance_types: tuple[InstanceType, ...] = tuple(EC2_CATALOG.values())
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS
+    #: None = try 1..max_slots for each type; else explicit options.
+    slots_options: tuple[int, ...] | None = None
+    matmul_options: tuple[MatMulParams, ...] = DEFAULT_MATMUL_OPTIONS
+    elementwise: ElementwiseParams = ElementwiseParams()
+    #: Storage tile sides to consider; None = the optimizer's default only.
+    tile_size_options: tuple[int, ...] | None = None
+
+    def slots_for(self, instance: InstanceType) -> list[int]:
+        if self.slots_options is not None:
+            return [slots for slots in self.slots_options
+                    if 1 <= slots <= instance.max_slots]
+        return list(range(1, instance.max_slots + 1))
+
+    def tile_sizes_for(self, default: int) -> list[int]:
+        if self.tile_size_options is not None:
+            return list(self.tile_size_options)
+        return [default]
+
+
+class DeploymentOptimizer:
+    """Searches the deployment space for one program."""
+
+    def __init__(self, program: Program, tile_size: int,
+                 coefficients: HardwareCoefficients | None = None,
+                 cost_config: CostModelConfig | None = None,
+                 billing: BillingModel | None = None,
+                 startup_seconds: float = DEFAULT_STARTUP_SECONDS,
+                 locality_aware: bool = True):
+        self.program = program
+        self.tile_size = tile_size
+        self.model = CumulonCostModel(coefficients, cost_config)
+        self.billing = billing if billing is not None else DEFAULT_BILLING
+        self.startup_seconds = startup_seconds
+        self.locality_aware = locality_aware
+        self._compiled_cache: dict[tuple[CompilerParams, int],
+                                   CompiledProgram] = {}
+
+    # -- plan evaluation -----------------------------------------------------
+
+    def compile_with(self, params: CompilerParams,
+                     tile_size: int | None = None) -> CompiledProgram:
+        """Compile (simulation-only) once per distinct (params, tile size)."""
+        tile_size = tile_size if tile_size is not None else self.tile_size
+        key = (params, tile_size)
+        if key not in self._compiled_cache:
+            context = PhysicalContext(tile_size)
+            self._compiled_cache[key] = compile_program(
+                self.program, context, params
+            )
+        return self._compiled_cache[key]
+
+    def evaluate(self, spec: ClusterSpec, params: CompilerParams,
+                 tile_size: int | None = None) -> DeploymentPlan:
+        """Price one (cluster, physical-plan, tile-size) combination."""
+        tile_size = tile_size if tile_size is not None else self.tile_size
+        compiled = self.compile_with(params, tile_size)
+        estimate = simulate_program(compiled.dag, spec, self.model,
+                                    locality_aware=self.locality_aware)
+        seconds = estimate.seconds + self.startup_seconds
+        cost = self.billing.cost(spec, seconds)
+        return DeploymentPlan(spec, params, seconds, cost,
+                              tile_size=tile_size)
+
+    def best_params_for(self, spec: ClusterSpec,
+                        space: SearchSpace) -> DeploymentPlan:
+        """Tune physical parameters and tile size for a fixed cluster spec."""
+        best: DeploymentPlan | None = None
+        for tile_size in space.tile_sizes_for(self.tile_size):
+            for matmul in space.matmul_options:
+                params = CompilerParams(matmul=matmul,
+                                        elementwise=space.elementwise)
+                plan = self.evaluate(spec, params, tile_size)
+                if (best is None
+                        or plan.estimated_seconds < best.estimated_seconds):
+                    best = plan
+        assert best is not None  # space.matmul_options is non-empty
+        return best
+
+    # -- exhaustive search -----------------------------------------------------
+
+    def enumerate_plans(self, space: SearchSpace | None = None
+                        ) -> list[DeploymentPlan]:
+        """Evaluate the full grid: every spec with its best physical params."""
+        space = space if space is not None else SearchSpace()
+        plans = []
+        for instance in space.instance_types:
+            for num_nodes in space.node_counts:
+                for slots in space.slots_for(instance):
+                    spec = ClusterSpec(instance, num_nodes, slots)
+                    plans.append(self.best_params_for(spec, space))
+        return plans
+
+    def skyline(self, space: SearchSpace | None = None) -> list[DeploymentPlan]:
+        return skyline(self.enumerate_plans(space))
+
+    def minimize_cost_under_deadline(self, deadline_seconds: float,
+                                     space: SearchSpace | None = None
+                                     ) -> DeploymentPlan:
+        if deadline_seconds <= 0:
+            raise ValidationError("deadline must be positive")
+        plan = cheapest_within_deadline(self.enumerate_plans(space),
+                                        deadline_seconds)
+        if plan is None:
+            raise InfeasibleConstraintError(
+                f"no deployment finishes within {deadline_seconds:.0f}s"
+            )
+        return plan
+
+    def minimize_time_under_budget(self, budget_dollars: float,
+                                   space: SearchSpace | None = None
+                                   ) -> DeploymentPlan:
+        if budget_dollars <= 0:
+            raise ValidationError("budget must be positive")
+        plan = fastest_within_budget(self.enumerate_plans(space),
+                                     budget_dollars)
+        if plan is None:
+            raise InfeasibleConstraintError(
+                f"no deployment costs at most ${budget_dollars:.2f}"
+            )
+        return plan
+
+    # -- hill climbing (for large spaces) ----------------------------------------
+
+    def hill_climb_under_deadline(self, deadline_seconds: float,
+                                  space: SearchSpace | None = None,
+                                  seed_spec: ClusterSpec | None = None,
+                                  max_steps: int = 50) -> DeploymentPlan:
+        """Local search: much cheaper than the grid, usually near-optimal.
+
+        Starts from ``seed_spec`` (default: the largest cluster of the first
+        type, which is almost always feasible) and greedily moves to the
+        cheapest feasible neighbor until no neighbor improves.
+        """
+        space = space if space is not None else SearchSpace()
+        if seed_spec is None:
+            instance = space.instance_types[0]
+            seed_spec = ClusterSpec(instance, max(space.node_counts),
+                                    min(instance.cores, instance.max_slots))
+        current = self.best_params_for(seed_spec, space)
+        visited = {self._spec_key(seed_spec)}
+        for __ in range(max_steps):
+            candidates = []
+            for neighbor in self._neighbors(current.spec, space):
+                key = self._spec_key(neighbor)
+                if key in visited:
+                    continue
+                visited.add(key)
+                candidates.append(self.best_params_for(neighbor, space))
+            feasible = [plan for plan in candidates
+                        if plan.estimated_seconds <= deadline_seconds]
+            current_feasible = current.estimated_seconds <= deadline_seconds
+            if current_feasible:
+                better = [plan for plan in feasible
+                          if plan.estimated_cost < current.estimated_cost]
+                if not better:
+                    break
+                current = min(better, key=lambda plan: plan.estimated_cost)
+            else:
+                # Not yet feasible: chase time downwards.
+                if not candidates:
+                    break
+                fastest = min(candidates,
+                              key=lambda plan: plan.estimated_seconds)
+                if fastest.estimated_seconds >= current.estimated_seconds:
+                    break
+                current = fastest
+        if current.estimated_seconds > deadline_seconds:
+            raise InfeasibleConstraintError(
+                f"hill climbing found no plan within {deadline_seconds:.0f}s"
+            )
+        return current
+
+    @staticmethod
+    def _spec_key(spec: ClusterSpec) -> tuple[str, int, int]:
+        return (spec.instance_type.name, spec.num_nodes, spec.slots_per_node)
+
+    def _neighbors(self, spec: ClusterSpec,
+                   space: SearchSpace) -> list[ClusterSpec]:
+        neighbors = []
+        counts = sorted(space.node_counts)
+        if spec.num_nodes in counts:
+            index = counts.index(spec.num_nodes)
+            adjacent_counts = [counts[i] for i in (index - 1, index + 1)
+                               if 0 <= i < len(counts)]
+        else:
+            adjacent_counts = counts[:1]
+        for count in adjacent_counts:
+            neighbors.append(ClusterSpec(spec.instance_type, count,
+                                         min(spec.slots_per_node,
+                                             spec.instance_type.max_slots)))
+        for delta in (-1, 1):
+            slots = spec.slots_per_node + delta
+            if 1 <= slots <= spec.instance_type.max_slots:
+                neighbors.append(ClusterSpec(spec.instance_type,
+                                             spec.num_nodes, slots))
+        for instance in space.instance_types:
+            if instance.name != spec.instance_type.name:
+                slots = min(spec.slots_per_node, instance.max_slots)
+                neighbors.append(ClusterSpec(instance, spec.num_nodes, slots))
+        return neighbors

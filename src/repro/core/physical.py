@@ -1,0 +1,583 @@
+"""Physical operators: Cumulon's map-only multi-input job templates.
+
+Two templates cover all of the paper's workloads:
+
+**Fused element-wise job** — a chain/tree of element-wise, scalar, and
+transpose operators collapses into one map-only job.  Each map task owns a
+chunk of output tile positions; for each position it reads the matching tile
+of every input matrix (transposing indices where needed), evaluates the fused
+kernel once, and writes the output tile.  One pass over the data regardless
+of how many logical operators were fused — this is where Cumulon beats
+one-job-per-operator MapReduce plans.
+
+**Tiled matrix multiply** — ``C = A @ B`` parameterized by
+:class:`MatMulParams`: each *mult* task computes the partial products of a
+``ci x cj`` block of C tiles over one of ``k_splits`` segments of the inner
+dimension.  With ``k_splits == 1`` the mult job writes C directly; otherwise
+a second map-only *add* job sums the partials.  The parameters trade
+task-count (scheduling overhead, ragged waves) against input re-reading and
+per-task memory — the trade-off experiment E2 sweeps.
+
+Every task carries a declarative :class:`~repro.hadoop.task.TaskWork` (bytes,
+flops) so the simulator can price it, and optionally a ``run`` closure doing
+the real tile math so the local executor can execute it.  Both are built from
+the same description.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompilationError, ShapeError, ValidationError
+from repro.hadoop.job import Job, JobKind
+from repro.hadoop.task import TaskWork, make_map_task
+from repro.hdfs.tilestore import TileStore
+from repro.matrix.tile import (
+    DENSE_ELEMENT_BYTES,
+    SPARSE_ELEMENT_BYTES,
+    SPARSE_THRESHOLD,
+    TileId,
+    matmul_flops,
+    tile_matmul,
+)
+from repro.matrix.tiled import TileBacking, TileGrid, TiledMatrix
+
+
+@dataclass(frozen=True)
+class MatrixInfo:
+    """Descriptor of a stored (or to-be-stored) tiled matrix.
+
+    ``bytes_scale`` models storage compression: a measured compressed/raw
+    ratio (see :func:`repro.matrix.compression.compression_report`) applied
+    to every tile's serialized size.
+    """
+
+    name: str
+    grid: TileGrid
+    density: float = 1.0
+    bytes_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.density <= 1.0:
+            raise ValidationError(f"density must be in [0, 1], got {self.density}")
+        if self.bytes_scale <= 0:
+            raise ValidationError(
+                f"bytes_scale must be positive, got {self.bytes_scale}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.grid.shape
+
+    def tile_bytes(self, tile_row: int, tile_col: int) -> int:
+        """Estimated serialized size of one tile, given density/compression."""
+        rows, cols = self.grid.tile_shape(tile_row, tile_col)
+        if self.density >= SPARSE_THRESHOLD:
+            raw = rows * cols * DENSE_ELEMENT_BYTES
+        else:
+            nnz = int(rows * cols * self.density)
+            raw = nnz * SPARSE_ELEMENT_BYTES
+        return max(64, int(raw * self.bytes_scale))
+
+    def total_bytes(self) -> int:
+        return sum(self.tile_bytes(row, col)
+                   for row, col in self.grid.positions())
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A matrix input with an optional logical transpose."""
+
+    info: MatrixInfo
+    transposed: bool = False
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        rows, cols = self.info.shape
+        return (cols, rows) if self.transposed else (rows, cols)
+
+    @property
+    def tile_rows(self) -> int:
+        grid = self.info.grid
+        return grid.tile_cols if self.transposed else grid.tile_rows
+
+    @property
+    def tile_cols(self) -> int:
+        grid = self.info.grid
+        return grid.tile_rows if self.transposed else grid.tile_cols
+
+    def stored_position(self, tile_row: int, tile_col: int) -> tuple[int, int]:
+        """Map a logical tile position to the stored tile position."""
+        return (tile_col, tile_row) if self.transposed else (tile_row, tile_col)
+
+    def tile_id(self, tile_row: int, tile_col: int) -> TileId:
+        stored_row, stored_col = self.stored_position(tile_row, tile_col)
+        return TileId(self.info.name, stored_row, stored_col)
+
+    def tile_bytes(self, tile_row: int, tile_col: int) -> int:
+        stored_row, stored_col = self.stored_position(tile_row, tile_col)
+        return self.info.tile_bytes(stored_row, stored_col)
+
+
+@dataclass(frozen=True)
+class MatMulParams:
+    """Granularity knobs of the tiled multiply (Cumulon's split factors)."""
+
+    tiles_per_task_i: int = 1
+    tiles_per_task_j: int = 1
+    k_splits: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.tiles_per_task_i, self.tiles_per_task_j, self.k_splits) < 1:
+            raise ValidationError(f"matmul parameters must be >= 1: {self}")
+
+
+@dataclass(frozen=True)
+class ElementwiseParams:
+    """Output tiles handled by one map task of a fused element-wise job."""
+
+    tiles_per_task: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tiles_per_task < 1:
+            raise ValidationError(
+                f"tiles_per_task must be >= 1, got {self.tiles_per_task}"
+            )
+
+
+class FusedKernel:
+    """An element-wise computation over K broadcast-aligned operands.
+
+    ``fn`` receives one dense ndarray per operand (already transposed as
+    needed) and returns the output ndarray.  ``n_operators`` counts the fused
+    logical operators, used for flop accounting.  Operands whose shape is 1
+    along a dimension broadcast along it (row/column vectors, scalars), with
+    numpy doing the within-tile stretching.
+    """
+
+    def __init__(self, operands: list[Operand], fn, n_operators: int,
+                 label: str = "", shape: tuple[int, int] | None = None):
+        if not operands:
+            raise CompilationError("fused kernel needs at least one operand")
+        if shape is None:
+            shape = operands[0].shape
+            for operand in operands[1:]:
+                shape = _broadcast(shape, operand.shape)
+        self._shape = shape
+        for operand in operands:
+            for out_dim, op_dim in zip(shape, operand.shape):
+                if op_dim != out_dim and op_dim != 1:
+                    raise ShapeError(
+                        f"operand shape {operand.shape} does not broadcast "
+                        f"to kernel shape {shape}"
+                    )
+        self.operands = operands
+        self.fn = fn
+        self.n_operators = max(1, n_operators)
+        self.label = label
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+
+def _broadcast(left: tuple[int, int],
+               right: tuple[int, int]) -> tuple[int, int]:
+    dims = []
+    for left_dim, right_dim in zip(left, right):
+        if left_dim == right_dim or right_dim == 1:
+            dims.append(left_dim)
+        elif left_dim == 1:
+            dims.append(right_dim)
+        else:
+            raise ShapeError(
+                f"shapes {left} and {right} are not broadcastable"
+            )
+    return (dims[0], dims[1])
+
+
+def broadcast_position(operand: Operand, tile_row: int,
+                       tile_col: int) -> tuple[int, int]:
+    """Logical tile position of ``operand`` feeding output tile (row, col):
+    broadcast dimensions always read tile index 0."""
+    row = tile_row if operand.tile_rows > 1 else 0
+    col = tile_col if operand.tile_cols > 1 else 0
+    return (row, col)
+
+
+class PhysicalContext:
+    """Everything job builders need to know about the target environment."""
+
+    def __init__(self, tile_size: int,
+                 backing: TileBacking | None = None,
+                 attach_run: bool = False):
+        if tile_size <= 0:
+            raise ValidationError(f"tile size must be positive, got {tile_size}")
+        if attach_run and backing is None:
+            raise ValidationError("attach_run requires a tile backing")
+        self.tile_size = tile_size
+        self.backing = backing
+        self.attach_run = attach_run
+
+    # -- storage helpers ---------------------------------------------------------
+
+    def preferred_nodes(self, tile_ids: list[TileId]) -> frozenset[str]:
+        """Nodes holding replicas of *all* the given tiles (for locality)."""
+        if not isinstance(self.backing, TileStore) or not tile_ids:
+            return frozenset()
+        nodes: set[str] | None = None
+        for tile_id in tile_ids:
+            replicas = self.backing.replica_nodes(tile_id)
+            nodes = replicas if nodes is None else nodes & replicas
+            if not nodes:
+                return frozenset()
+        return frozenset(nodes or ())
+
+    def read_tile(self, tile_id: TileId):
+        return self.backing.get(tile_id)
+
+    def write_tile(self, output: TiledMatrix, tile_row: int, tile_col: int,
+                   payload) -> None:
+        output.put_tile(tile_row, tile_col, payload)
+
+
+def _chunk_ranges(total: int, per_chunk: int):
+    """Yield (start, stop) covering range(total) in per_chunk-sized pieces."""
+    for start in range(0, total, per_chunk):
+        yield (start, min(total, start + per_chunk))
+
+
+# ---------------------------------------------------------------------------
+# Fused element-wise job.
+# ---------------------------------------------------------------------------
+
+def build_elementwise_job(job_id: str, kernel: FusedKernel,
+                          output: MatrixInfo, context: PhysicalContext,
+                          params: ElementwiseParams,
+                          depends_on: set[str] | None = None,
+                          output_matrix: TiledMatrix | None = None) -> Job:
+    """One map-only job evaluating ``kernel`` tile-by-tile into ``output``."""
+    if kernel.shape != output.shape:
+        raise ShapeError(
+            f"kernel shape {kernel.shape} != output shape {output.shape}"
+        )
+    grid = output.grid
+    positions = list(grid.positions())
+    tasks = []
+    for index, (start, stop) in enumerate(
+            _chunk_ranges(len(positions), params.tiles_per_task)):
+        chunk = positions[start:stop]
+        input_ids = [operand.tile_id(*broadcast_position(operand, row, col))
+                     for row, col in chunk for operand in kernel.operands]
+        tile_elements = context.tile_size * context.tile_size
+        work = TaskWork(
+            bytes_read=sum(
+                operand.tile_bytes(*broadcast_position(operand, row, col))
+                for row, col in chunk
+                for operand in kernel.operands),
+            bytes_written=sum(output.tile_bytes(row, col) for row, col in chunk),
+            element_ops=sum(rows * cols * kernel.n_operators
+                            for rows, cols in (grid.tile_shape(row, col)
+                                               for row, col in chunk)),
+            tile_ops=len(chunk) * (len(kernel.operands) + 2),
+            memory_bytes=(len(kernel.operands) + 1)
+                         * tile_elements * DENSE_ELEMENT_BYTES,
+        )
+        run = None
+        if context.attach_run:
+            run = _elementwise_runner(kernel, chunk, context, output_matrix)
+        tasks.append(make_map_task(
+            task_id=f"{job_id}-m{index}",
+            work=work,
+            preferred_nodes=context.preferred_nodes(input_ids),
+            run=run,
+            label=f"{kernel.label or 'ew'} tiles[{start}:{stop}]",
+        ))
+    return Job(job_id, JobKind.MAP_ONLY, tasks,
+               depends_on=set(depends_on or ()),
+               label=kernel.label or f"elementwise -> {output.name}")
+
+
+def _elementwise_runner(kernel: FusedKernel, chunk, context: PhysicalContext,
+                        output_matrix: TiledMatrix):
+    if output_matrix is None:
+        raise CompilationError("attach_run requires the output TiledMatrix")
+
+    def run() -> None:
+        for row, col in chunk:
+            payloads = []
+            for operand in kernel.operands:
+                position = broadcast_position(operand, row, col)
+                tile = context.read_tile(operand.tile_id(*position))
+                dense = tile.to_dense()
+                payloads.append(dense.T if operand.transposed else dense)
+            # numpy broadcasting stretches vector payloads within the tile.
+            result = kernel.fn(*payloads)
+            context.write_tile(output_matrix, row, col, result)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Tiled matrix multiply: mult job (+ optional add job).
+# ---------------------------------------------------------------------------
+
+def partial_name(output_name: str, segment: int) -> str:
+    """Name of the partial-product matrix for one inner-dimension segment."""
+    return f"{output_name}#part{segment}"
+
+
+@dataclass
+class MatMulJobs:
+    """Result of planning one multiply: 1 or 2 jobs plus the output info."""
+
+    mult_job: Job
+    add_job: Job | None
+    output: MatrixInfo
+
+    def jobs(self) -> list[Job]:
+        return [self.mult_job] + ([self.add_job] if self.add_job else [])
+
+
+def estimate_task_memory_bytes(left: Operand, right: Operand,
+                               params: MatMulParams, tile_size: int) -> int:
+    """Peak dense working-set of one mult task (inputs + accumulators)."""
+    k_tiles = left.tile_cols
+    seg = math.ceil(k_tiles / params.k_splits)
+    tiles_held = (params.tiles_per_task_i * seg
+                  + seg * params.tiles_per_task_j
+                  + params.tiles_per_task_i * params.tiles_per_task_j)
+    return tiles_held * tile_size * tile_size * DENSE_ELEMENT_BYTES
+
+
+def build_matmul_jobs(job_id: str, left: Operand, right: Operand,
+                      output_name: str, context: PhysicalContext,
+                      params: MatMulParams,
+                      depends_on: set[str] | None = None,
+                      output_density: float = 1.0) -> MatMulJobs:
+    """Plan ``output = left @ right`` with the given split parameters."""
+    if left.shape[1] != right.shape[0]:
+        raise ShapeError(
+            f"cannot multiply shapes {left.shape} and {right.shape}"
+        )
+    grid = TileGrid(left.shape[0], right.shape[1], context.tile_size)
+    output = MatrixInfo(output_name, grid, output_density)
+    k_tiles = left.tile_cols
+    k_splits = min(params.k_splits, k_tiles)
+    segments = _segment_bounds(k_tiles, k_splits)
+    deps = set(depends_on or ())
+
+    # Partial outputs (one per segment) or the final output directly.
+    if k_splits == 1:
+        targets = [output]
+    else:
+        targets = [MatrixInfo(partial_name(output_name, seg_index), grid,
+                              output_density)
+                   for seg_index in range(k_splits)]
+
+    target_matrices: list[TiledMatrix | None] = [None] * len(targets)
+    if context.attach_run:
+        target_matrices = [TiledMatrix(info.name, grid, context.backing)
+                           for info in targets]
+
+    mult_tasks = []
+    task_index = 0
+    i_chunks = list(_chunk_ranges(grid.tile_rows, params.tiles_per_task_i))
+    j_chunks = list(_chunk_ranges(grid.tile_cols, params.tiles_per_task_j))
+    for seg_index, (k_start, k_stop) in enumerate(segments):
+        for i_start, i_stop in i_chunks:
+            for j_start, j_stop in j_chunks:
+                task = _build_mult_task(
+                    f"{job_id}-m{task_index}", left, right,
+                    targets[seg_index], target_matrices[seg_index],
+                    (i_start, i_stop), (j_start, j_stop), (k_start, k_stop),
+                    context,
+                )
+                mult_tasks.append(task)
+                task_index += 1
+    mult_job = Job(f"{job_id}", JobKind.MAP_ONLY, mult_tasks,
+                   depends_on=deps,
+                   label=f"mult {left.info.name}@{right.info.name}"
+                         f" -> {output_name} (ks={k_splits})")
+
+    add_job = None
+    if k_splits > 1:
+        output_matrix = None
+        if context.attach_run:
+            output_matrix = TiledMatrix(output.name, grid, context.backing)
+        add_job = _build_add_job(f"{job_id}-add", targets, output,
+                                 output_matrix, context,
+                                 depends_on={mult_job.job_id})
+    return MatMulJobs(mult_job, add_job, output)
+
+
+def _segment_bounds(k_tiles: int, k_splits: int) -> list[tuple[int, int]]:
+    """Split range(k_tiles) into k_splits near-equal contiguous segments."""
+    bounds = []
+    base = k_tiles // k_splits
+    extra = k_tiles % k_splits
+    start = 0
+    for seg_index in range(k_splits):
+        length = base + (1 if seg_index < extra else 0)
+        bounds.append((start, start + length))
+        start += length
+    return bounds
+
+
+def _build_mult_task(task_id: str, left: Operand, right: Operand,
+                     target: MatrixInfo, target_matrix: TiledMatrix | None,
+                     i_range: tuple[int, int], j_range: tuple[int, int],
+                     k_range: tuple[int, int], context: PhysicalContext):
+    i_start, i_stop = i_range
+    j_start, j_stop = j_range
+    k_start, k_stop = k_range
+    grid = target.grid
+
+    left_ids = [left.tile_id(i, k)
+                for i in range(i_start, i_stop) for k in range(k_start, k_stop)]
+    right_ids = [right.tile_id(k, j)
+                 for k in range(k_start, k_stop) for j in range(j_start, j_stop)]
+
+    bytes_read = (sum(left.tile_bytes(i, k)
+                      for i in range(i_start, i_stop)
+                      for k in range(k_start, k_stop))
+                  + sum(right.tile_bytes(k, j)
+                        for k in range(k_start, k_stop)
+                        for j in range(j_start, j_stop)))
+    bytes_written = sum(target.tile_bytes(i, j)
+                        for i in range(i_start, i_stop)
+                        for j in range(j_start, j_stop))
+    flops = 0
+    for i in range(i_start, i_stop):
+        for j in range(j_start, j_stop):
+            out_rows, out_cols = grid.tile_shape(i, j)
+            for k in range(k_start, k_stop):
+                inner = _inner_tile_width(left, i, k)
+                flops += matmul_flops(out_rows, inner, out_cols)
+    # Sparse inputs cut effective flops roughly with the density product.
+    sparsity_scale = max(left.info.density * right.info.density, 1e-6)
+    flops = int(flops * min(1.0, sparsity_scale * 4))
+
+    # Working set: the ci x cj accumulator block plus the buffered A-strip
+    # and B-strip of this task's k segment (Cumulon buffers whole strips).
+    ci, cj = i_stop - i_start, j_stop - j_start
+    seg_len = k_stop - k_start
+    tiles_held = ci * cj + seg_len * (ci + cj)
+    tile_size = target.grid.tile_size
+    memory = tiles_held * tile_size * tile_size * DENSE_ELEMENT_BYTES
+    # reads + per-tile multiplies/accumulations + writes
+    tile_ops = seg_len * (ci + cj) + 2 * ci * cj * seg_len + ci * cj
+    work = TaskWork(bytes_read=bytes_read, bytes_written=bytes_written,
+                    flops=max(1, flops), tile_ops=tile_ops,
+                    memory_bytes=memory)
+    run = None
+    if context.attach_run:
+        run = _mult_runner(left, right, target_matrix, i_range, j_range,
+                           k_range, context)
+    return make_map_task(
+        task_id=task_id, work=work,
+        preferred_nodes=context.preferred_nodes(left_ids + right_ids),
+        run=run,
+        label=f"mult i[{i_start}:{i_stop}) j[{j_start}:{j_stop}) "
+              f"k[{k_start}:{k_stop})",
+    )
+
+
+def _inner_tile_width(left: Operand, tile_row: int, tile_col: int) -> int:
+    stored_row, stored_col = left.stored_position(tile_row, tile_col)
+    rows, cols = left.info.grid.tile_shape(stored_row, stored_col)
+    return rows if left.transposed else cols
+
+
+def _mult_runner(left: Operand, right: Operand, target_matrix: TiledMatrix,
+                 i_range, j_range, k_range, context: PhysicalContext):
+    if target_matrix is None:
+        raise CompilationError("attach_run requires the target TiledMatrix")
+
+    def run() -> None:
+        for i in range(*i_range):
+            for j in range(*j_range):
+                accumulator = None
+                for k in range(*k_range):
+                    left_payload = _operand_payload(left, i, k, context)
+                    right_payload = _operand_payload(right, k, j, context)
+                    product = tile_matmul(left_payload, right_payload)
+                    if accumulator is None:
+                        accumulator = product
+                    else:
+                        accumulator = accumulator + product
+                target_matrix.put_tile(i, j, _to_array(accumulator))
+
+    return run
+
+
+def _operand_payload(operand: Operand, tile_row: int, tile_col: int,
+                     context: PhysicalContext):
+    tile = context.read_tile(operand.tile_id(tile_row, tile_col))
+    payload = tile.data
+    return payload.T if operand.transposed else payload
+
+
+def _to_array(payload):
+    if hasattr(payload, "todense"):
+        return np.asarray(payload.todense())
+    return payload
+
+
+def _build_add_job(job_id: str, partials: list[MatrixInfo],
+                   output: MatrixInfo, output_matrix: TiledMatrix | None,
+                   context: PhysicalContext, depends_on: set[str]) -> Job:
+    """Map-only job summing the per-segment partials into the final output."""
+    grid = output.grid
+    positions = list(grid.positions())
+    # Small chunks keep add tasks cheap; the add phase is I/O bound anyway.
+    chunk_size = 4
+    tasks = []
+    for index, (start, stop) in enumerate(
+            _chunk_ranges(len(positions), chunk_size)):
+        chunk = positions[start:stop]
+        input_ids = [TileId(partial.name, row, col)
+                     for row, col in chunk for partial in partials]
+        work = TaskWork(
+            bytes_read=sum(partial.tile_bytes(row, col)
+                           for row, col in chunk for partial in partials),
+            bytes_written=sum(output.tile_bytes(row, col)
+                              for row, col in chunk),
+            element_ops=sum(rows * cols * len(partials)
+                            for rows, cols in (grid.tile_shape(row, col)
+                                               for row, col in chunk)),
+            tile_ops=len(chunk) * (len(partials) + 1),
+            memory_bytes=2 * grid.tile_size * grid.tile_size
+                         * DENSE_ELEMENT_BYTES,
+        )
+        run = None
+        if context.attach_run:
+            run = _add_runner(partials, chunk, output_matrix, context)
+        tasks.append(make_map_task(
+            task_id=f"{job_id}-m{index}", work=work,
+            preferred_nodes=context.preferred_nodes(input_ids),
+            run=run,
+            label=f"add partials tiles[{start}:{stop}]",
+        ))
+    return Job(job_id, JobKind.MAP_ONLY, tasks, depends_on=depends_on,
+               label=f"add {len(partials)} partials -> {output.name}")
+
+
+def _add_runner(partials: list[MatrixInfo], chunk,
+                output_matrix: TiledMatrix, context: PhysicalContext):
+    if output_matrix is None:
+        raise CompilationError("attach_run requires the output TiledMatrix")
+
+    def run() -> None:
+        for row, col in chunk:
+            total = None
+            for partial in partials:
+                tile = context.read_tile(TileId(partial.name, row, col))
+                payload = tile.to_dense()
+                total = payload if total is None else total + payload
+            output_matrix.put_tile(row, col, total)
+
+    return run

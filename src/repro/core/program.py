@@ -1,0 +1,99 @@
+"""Programs: ordered matrix assignments, with bounded loops.
+
+A Cumulon program is a straight-line sequence of matrix assignments; loops
+with statically known trip counts (the common case for iterative statistical
+methods — run K iterations of GNMF, T power iterations of RSVD) are unrolled
+before compilation, exactly as Cumulon submits one job DAG per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.expr import Expr, Var
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``target = expr``.  Rebinding an existing name is allowed."""
+
+    target: str
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ValidationError("assignment target must be non-empty")
+
+
+@dataclass
+class Program:
+    """A named program over declared input matrices."""
+
+    name: str
+    inputs: dict[str, Var] = field(default_factory=dict)
+    statements: list[Statement] = field(default_factory=list)
+    #: Variables whose final values are the program's results.
+    outputs: list[str] = field(default_factory=list)
+
+    def declare_input(self, name: str, rows: int, cols: int,
+                      density: float = 1.0) -> Var:
+        """Declare an input matrix; returns the Var to build expressions with."""
+        if name in self.inputs:
+            raise ValidationError(f"input {name!r} already declared")
+        var = Var(name, (rows, cols), density)
+        self.inputs[name] = var
+        return var
+
+    def assign(self, target: str, expr: Expr) -> Var:
+        """Append ``target = expr``; returns a Var referencing the result."""
+        self._check_bound(expr)
+        self.statements.append(Statement(target, expr))
+        return Var(target, expr.shape, expr.density)
+
+    def loop(self, times: int, body) -> None:
+        """Unroll ``times`` repetitions of ``body``.
+
+        ``body`` is a callable invoked once per iteration with the iteration
+        index; it should issue :meth:`assign` calls.  This mirrors how
+        Cumulon handles iterative programs: each iteration contributes its
+        own jobs to the DAG.
+        """
+        if times < 0:
+            raise ValidationError(f"loop count must be >= 0, got {times}")
+        for iteration in range(times):
+            body(iteration)
+
+    def mark_output(self, *names: str) -> None:
+        for name in names:
+            if name not in self.bound_names():
+                raise ValidationError(
+                    f"cannot mark unbound variable {name!r} as output"
+                )
+            if name not in self.outputs:
+                self.outputs.append(name)
+
+    def bound_names(self) -> set[str]:
+        """All names with a binding at the end of the program."""
+        names = set(self.inputs)
+        names.update(statement.target for statement in self.statements)
+        return names
+
+    def _check_bound(self, expr: Expr) -> None:
+        bound = self.bound_names()
+        unbound = expr.free_variables() - bound
+        if unbound:
+            raise ValidationError(
+                f"expression {expr.describe()} references unbound "
+                f"variables: {sorted(unbound)}"
+            )
+
+    def describe(self) -> str:
+        lines = [f"program {self.name}"]
+        for name, var in self.inputs.items():
+            lines.append(f"  input {name}: {var.shape} density={var.density:g}")
+        for statement in self.statements:
+            lines.append(f"  {statement.target} = {statement.expr.describe()}")
+        if self.outputs:
+            lines.append(f"  output {', '.join(self.outputs)}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""CumulonSession: the one-object front door.
+
+Wires together the pieces a user otherwise assembles by hand — a provisioned
+(simulated) cluster with its tile store, the executor, the optimizer, and
+ingestion — behind one object::
+
+    session = CumulonSession(tile_size=256)
+    session.ingest_csv("X", csv_text)
+    session.ingest_array("G", g)
+    result = session.run(program)          # executes on the session store
+    plan = session.optimize(big_program).minimize_cost_under_deadline(3600)
+
+Everything the session stores lives in one simulated HDFS cluster, so
+storage accounting, locality, and replication are consistent across calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.instances import ClusterSpec, get_instance_type
+from repro.cloud.provisioning import ProvisionedCluster, provision
+from repro.core.compiler import CompilerParams
+from repro.core.executor import CumulonExecutor, ExecutionResult
+from repro.core.optimizer import DeploymentOptimizer
+from repro.core.program import Program
+from repro.errors import ValidationError
+from repro.hdfs.tilestore import TileStore
+from repro.ingest.loader import ingest_array as _ingest_array
+from repro.ingest.loader import ingest_csv as _ingest_csv
+from repro.matrix.tiled import TiledMatrix
+
+
+class CumulonSession:
+    """A working context: one storage cluster, one executor, one optimizer."""
+
+    def __init__(self, tile_size: int = 256, max_workers: int = 4,
+                 storage_nodes: int = 3, replication: int = 2,
+                 instance: str = "m1.large",
+                 params: CompilerParams | None = None):
+        if storage_nodes <= 0:
+            raise ValidationError("storage_nodes must be positive")
+        self.tile_size = tile_size
+        self.params = params if params is not None else CompilerParams()
+        spec = ClusterSpec(get_instance_type(instance), storage_nodes,
+                           slots_per_node=1)
+        self.cluster: ProvisionedCluster = provision(spec,
+                                                     replication=replication)
+        self.store = TileStore(self.cluster.namenode)
+        self._executor = CumulonExecutor(
+            tile_size=tile_size, max_workers=max_workers,
+            params=self.params, backing=self.store,
+        )
+
+    # -- data in -------------------------------------------------------------
+
+    def ingest_array(self, name: str, array: np.ndarray) -> TiledMatrix:
+        """Tile an in-memory array into the session store."""
+        return _ingest_array(name, np.asarray(array, dtype=np.float64),
+                             self.tile_size, self.store)
+
+    def ingest_csv(self, name: str, text: str,
+                   delimiter: str = ",") -> TiledMatrix:
+        """Parse delimited text and tile it into the session store."""
+        return _ingest_csv(name, text, self.tile_size, self.store,
+                           delimiter=delimiter)
+
+    def get_matrix(self, name: str, rows: int, cols: int) -> np.ndarray:
+        """Read a stored matrix back as numpy (by its declared shape)."""
+        from repro.matrix.tiled import TileGrid
+        grid = TileGrid(rows, cols, self.tile_size)
+        return TiledMatrix(name, grid, self.store).to_numpy()
+
+    # -- execute -------------------------------------------------------------
+
+    def run(self, program: Program,
+            inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
+        """Execute a program.  Inputs already ingested under their declared
+        names may be omitted; any provided arrays are (re)ingested first."""
+        inputs = dict(inputs or {})
+        for name, var in program.inputs.items():
+            if name in inputs:
+                continue
+            if self._has_matrix(name, var.shape):
+                grid_rows, grid_cols = var.shape
+                inputs[name] = self.get_matrix(name, grid_rows, grid_cols)
+            # else: the executor will raise a clear missing-input error.
+        return self._executor.run(program, inputs)
+
+    def _has_matrix(self, name: str, shape: tuple[int, int]) -> bool:
+        from repro.matrix.tile import TileId
+        from repro.matrix.tiled import TileGrid
+        grid = TileGrid(shape[0], shape[1], self.tile_size)
+        return all(self.store.exists(TileId(name, row, col))
+                   for row, col in grid.positions())
+
+    # -- plan ----------------------------------------------------------------
+
+    def optimize(self, program: Program,
+                 tile_size: int | None = None) -> DeploymentOptimizer:
+        """An optimizer for (usually a scaled-up version of) a program."""
+        return DeploymentOptimizer(
+            program,
+            tile_size=tile_size if tile_size is not None else self.tile_size,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def storage_used_bytes(self) -> int:
+        """Total bytes (including replication) used in the session store."""
+        return self.cluster.namenode.total_used_bytes()
+
+    def stored_matrices(self) -> list[str]:
+        """Names of matrices with at least one tile in the store."""
+        names = set()
+        for path in self.cluster.namenode.list_files(self.store.root + "/"):
+            relative = path[len(self.store.root) + 1:]
+            names.add(relative.split("/")[0])
+        return sorted(names)

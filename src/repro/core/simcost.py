@@ -1,0 +1,103 @@
+"""Program completion-time estimation: simulation and analytic cross-check.
+
+This is the "simulation" stage of Cumulon's optimizer pipeline: a compiled
+job DAG is priced on a candidate cluster by replaying slot scheduling with
+the fitted cost model.  The analytic wave model (``overhead + ceil(tasks /
+slots) * mean task time`` per job) is a cheaper first-order estimate used to
+sanity-check the simulator (experiment E9) — it ignores ragged waves,
+heterogeneous task times, and cross-job overlap, which is precisely what the
+simulation adds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.instances import ClusterSpec
+from repro.errors import ValidationError
+from repro.hadoop.job import Job, JobDag, JobKind
+from repro.hadoop.simulator import ClusterSimulator, SimulationResult
+from repro.hadoop.timemodel import TaskTimeModel
+from repro.hdfs.tilestore import TileStore
+from repro.matrix.tile import TileId
+
+from repro.core.physical import MatrixInfo
+
+
+@dataclass
+class ProgramEstimate:
+    """Predicted execution profile of a job DAG on one cluster spec."""
+
+    spec: ClusterSpec
+    seconds: float
+    job_seconds: dict[str, float] = field(default_factory=dict)
+    simulation: SimulationResult | None = None
+
+    def describe(self) -> str:
+        parts = [f"{self.spec.describe()}: {self.seconds:.1f}s total"]
+        parts += [f"  {job_id}: {seconds:.1f}s"
+                  for job_id, seconds in self.job_seconds.items()]
+        return "\n".join(parts)
+
+
+def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
+                     locality_aware: bool = True) -> ProgramEstimate:
+    """Estimate wall-clock of ``dag`` on ``spec`` by event simulation."""
+    simulator = ClusterSimulator(spec, model, locality_aware=locality_aware)
+    result = simulator.run(dag)
+    job_seconds = {job_id: timeline.duration
+                   for job_id, timeline in result.job_timelines.items()}
+    return ProgramEstimate(spec, result.makespan, job_seconds, result)
+
+
+def analytic_wave_estimate(dag: JobDag, spec: ClusterSpec,
+                           model: TaskTimeModel) -> float:
+    """First-order estimate: sequential jobs, whole waves, mean task time."""
+    total = 0.0
+    for job in dag.topological_order():
+        total += analytic_job_time(job, spec, model)
+    return total
+
+
+def analytic_job_time(job: Job, spec: ClusterSpec,
+                      model: TaskTimeModel) -> float:
+    """Wave-model time of one job in isolation."""
+    seconds = model.job_overhead(job)
+    seconds += _phase_time(job.map_tasks, spec, model)
+    if job.kind is JobKind.MAPREDUCE:
+        bandwidth = spec.num_nodes * spec.instance_type.network_bandwidth
+        seconds += model.shuffle_duration(job, bandwidth)
+        seconds += _phase_time(job.reduce_tasks, spec, model)
+    return seconds
+
+
+def _phase_time(tasks, spec: ClusterSpec, model: TaskTimeModel) -> float:
+    if not tasks:
+        return 0.0
+    # Every slot on a node is assumed busy (worst-case contention), matching
+    # how the middle waves of a large job behave.
+    concurrency = spec.slots_per_node
+    mean = sum(model.task_duration(task, spec.instance_type, concurrency, True)
+               for task in tasks) / len(tasks)
+    waves = math.ceil(len(tasks) / spec.total_slots)
+    return waves * mean
+
+
+def place_virtual_inputs(store: TileStore, infos: list[MatrixInfo],
+                         node_names: list[str]) -> None:
+    """Create metadata-only tiles for input matrices, spread across nodes.
+
+    Tiles are written round-robin so the writer-local first replica spreads
+    evenly — the layout a previous job's map wave would leave behind.
+    """
+    if not node_names:
+        raise ValidationError("need at least one node to place inputs")
+    writer_index = 0
+    for info in infos:
+        for tile_row, tile_col in info.grid.positions():
+            tile_id = TileId(info.name, tile_row, tile_col)
+            writer = node_names[writer_index % len(node_names)]
+            store.put_virtual(tile_id, info.tile_bytes(tile_row, tile_col),
+                              writer=writer)
+            writer_index += 1

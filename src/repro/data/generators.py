@@ -1,0 +1,103 @@
+"""Seeded synthetic matrix generators.
+
+The paper's evaluation workloads are defined by matrix *shapes* and
+*sparsity*, not by particular data values, so every experiment here runs on
+reproducible synthetic matrices.  All generators take an explicit ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ValidationError
+from repro.matrix.tiled import DEFAULT_TILE_SIZE, TiledMatrix
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_dense(name: str, rows: int, cols: int, seed: int,
+                 tile_size: int = DEFAULT_TILE_SIZE,
+                 scale: float = 1.0) -> TiledMatrix:
+    """Dense matrix with i.i.d. uniform entries in [0, scale)."""
+    if scale <= 0:
+        raise ValidationError(f"scale must be positive, got {scale}")
+    array = _rng(seed).random((rows, cols)) * scale
+    return TiledMatrix.from_numpy(name, array, tile_size)
+
+
+def random_gaussian(name: str, rows: int, cols: int, seed: int,
+                    tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+    """Dense matrix with i.i.d. standard normal entries."""
+    array = _rng(seed).standard_normal((rows, cols))
+    return TiledMatrix.from_numpy(name, array, tile_size)
+
+
+def random_sparse(name: str, rows: int, cols: int, density: float, seed: int,
+                  tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+    """Sparse matrix with the given nonzero density (values uniform [0,1))."""
+    if not 0.0 <= density <= 1.0:
+        raise ValidationError(f"density must be in [0, 1], got {density}")
+    rng = _rng(seed)
+    mat = sparse.random(rows, cols, density=density, random_state=rng,
+                        format="csr", dtype=np.float64)
+    return TiledMatrix.from_numpy(name, np.asarray(mat.todense()), tile_size)
+
+
+def random_nonnegative(name: str, rows: int, cols: int, seed: int,
+                       tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+    """Strictly positive dense matrix (entries in (0.01, 1.01)); GNMF input."""
+    array = _rng(seed).random((rows, cols)) + 0.01
+    return TiledMatrix.from_numpy(name, array, tile_size)
+
+
+def regression_dataset(rows: int, features: int, seed: int,
+                       noise: float = 0.1,
+                       tile_size: int = DEFAULT_TILE_SIZE
+                       ) -> tuple[TiledMatrix, TiledMatrix, np.ndarray]:
+    """A linear-regression instance: design matrix X, targets y, true weights.
+
+    Returns ``(X, y, w_true)`` where ``y = X @ w_true + noise``.
+    """
+    if rows <= 0 or features <= 0:
+        raise ValidationError("rows and features must be positive")
+    rng = _rng(seed)
+    x = rng.standard_normal((rows, features))
+    w_true = rng.standard_normal(features)
+    y = x @ w_true + noise * rng.standard_normal(rows)
+    x_mat = TiledMatrix.from_numpy("X", x, tile_size)
+    y_mat = TiledMatrix.from_numpy("y", y.reshape(-1, 1), tile_size)
+    return x_mat, y_mat, w_true
+
+
+def low_rank_plus_noise(name: str, rows: int, cols: int, rank: int, seed: int,
+                        noise: float = 0.01,
+                        tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+    """A matrix with a planted low-rank structure; RSVD input."""
+    if rank <= 0 or rank > min(rows, cols):
+        raise ValidationError(f"rank must be in [1, min(shape)], got {rank}")
+    rng = _rng(seed)
+    left = rng.standard_normal((rows, rank))
+    right = rng.standard_normal((rank, cols))
+    array = left @ right + noise * rng.standard_normal((rows, cols))
+    return TiledMatrix.from_numpy(name, array, tile_size)
+
+
+def stochastic_adjacency(name: str, nodes: int, avg_degree: float, seed: int,
+                         tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+    """Column-stochastic adjacency matrix for power-iteration workloads."""
+    if nodes <= 0:
+        raise ValidationError("nodes must be positive")
+    if avg_degree <= 0:
+        raise ValidationError("avg_degree must be positive")
+    density = min(1.0, avg_degree / nodes)
+    rng = _rng(seed)
+    adjacency = (rng.random((nodes, nodes)) < density).astype(np.float64)
+    # Guarantee no dangling columns, then normalize columns to sum to 1.
+    for col in range(nodes):
+        if not adjacency[:, col].any():
+            adjacency[rng.integers(nodes), col] = 1.0
+    adjacency /= adjacency.sum(axis=0, keepdims=True)
+    return TiledMatrix.from_numpy(name, adjacency, tile_size)

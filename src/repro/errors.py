@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subsystems raise the most specific subclass available; invalid
+arguments raise :class:`ValidationError` (a ``ValueError`` as well, so plain
+``except ValueError`` also works).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or configuration value failed validation."""
+
+
+class ShapeError(ValidationError):
+    """Matrix shapes are incompatible for the requested operation."""
+
+
+class StorageError(ReproError):
+    """A storage-layer (HDFS / tile store) operation failed."""
+
+
+class FileNotFoundInHDFSError(StorageError, KeyError):
+    """The requested HDFS path does not exist."""
+
+
+class FileExistsInHDFSError(StorageError):
+    """Attempted to create an HDFS path that already exists."""
+
+
+class ReplicationError(StorageError):
+    """A block could not be replicated as requested."""
+
+
+class SchedulingError(ReproError):
+    """The Hadoop scheduler/simulator reached an inconsistent state."""
+
+
+class CompilationError(ReproError):
+    """A logical plan could not be compiled into physical jobs."""
+
+
+class ExecutionError(ReproError):
+    """A compiled job failed while executing."""
+
+
+class OptimizationError(ReproError):
+    """The deployment optimizer could not produce a feasible plan."""
+
+
+class InfeasibleConstraintError(OptimizationError):
+    """No deployment plan satisfies the given time/budget constraint."""

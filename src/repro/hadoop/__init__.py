@@ -1,0 +1,60 @@
+"""Simulated Hadoop engine: tasks, jobs, slot scheduling, local execution."""
+
+from repro.hadoop.faults import (
+    FailureModel,
+    NoFailures,
+    RandomFailures,
+    TargetedFailures,
+)
+from repro.hadoop.job import Job, JobDag, JobKind
+from repro.hadoop.local import LocalExecutor, LocalJobReport, LocalRunReport
+from repro.hadoop.metrics import (
+    UtilizationReport,
+    render_timeline,
+    straggler_report,
+    to_chrome_trace,
+    utilization,
+)
+from repro.hadoop.simulator import (
+    ClusterSimulator,
+    JobTimeline,
+    SimulationResult,
+)
+from repro.hadoop.task import (
+    Task,
+    TaskAttempt,
+    TaskKind,
+    TaskWork,
+    make_map_task,
+    make_reduce_task,
+)
+from repro.hadoop.timemodel import FixedTimeModel, TaskTimeModel
+
+__all__ = [
+    "ClusterSimulator",
+    "FailureModel",
+    "NoFailures",
+    "RandomFailures",
+    "TargetedFailures",
+    "FixedTimeModel",
+    "Job",
+    "JobDag",
+    "JobKind",
+    "JobTimeline",
+    "LocalExecutor",
+    "UtilizationReport",
+    "render_timeline",
+    "straggler_report",
+    "to_chrome_trace",
+    "utilization",
+    "LocalJobReport",
+    "LocalRunReport",
+    "SimulationResult",
+    "Task",
+    "TaskAttempt",
+    "TaskKind",
+    "TaskTimeModel",
+    "TaskWork",
+    "make_map_task",
+    "make_reduce_task",
+]

@@ -1,0 +1,82 @@
+"""Failure models for the cluster simulator.
+
+Hadoop's fault tolerance (retry failed tasks, speculate on stragglers) is
+part of why Cumulon can run on cheap cloud nodes at all; these models let
+the simulator inject deterministic, seeded failures so that behaviour is
+testable and its cost measurable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ValidationError
+
+
+class FailureModel:
+    """Decides whether a given task attempt fails, and when."""
+
+    #: Attempts per task before the job is declared failed (Hadoop default).
+    max_attempts: int = 4
+
+    def failure_fraction(self, task_id: str, attempt_index: int) -> float | None:
+        """None = attempt succeeds; else the fraction of the attempt's
+        duration after which it dies (in (0, 1])."""
+        raise NotImplementedError
+
+
+class NoFailures(FailureModel):
+    """Every attempt succeeds."""
+
+    def failure_fraction(self, task_id: str, attempt_index: int) -> float | None:
+        return None
+
+
+class RandomFailures(FailureModel):
+    """Each attempt independently fails with a fixed probability.
+
+    Deterministic: the outcome is a pure function of (seed, task_id,
+    attempt_index), so a simulation replays identically.
+    """
+
+    def __init__(self, probability: float, seed: int = 0,
+                 fail_at_fraction: float = 0.5, max_attempts: int = 4):
+        if not 0.0 <= probability < 1.0:
+            raise ValidationError(
+                f"failure probability must be in [0, 1), got {probability}"
+            )
+        if not 0.0 < fail_at_fraction <= 1.0:
+            raise ValidationError(
+                f"fail_at_fraction must be in (0, 1], got {fail_at_fraction}"
+            )
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        self.probability = probability
+        self.seed = seed
+        self.fail_at_fraction = fail_at_fraction
+        self.max_attempts = max_attempts
+
+    def failure_fraction(self, task_id: str, attempt_index: int) -> float | None:
+        rng = random.Random(f"{self.seed}:{task_id}:{attempt_index}")
+        if rng.random() < self.probability:
+            return self.fail_at_fraction
+        return None
+
+
+class TargetedFailures(FailureModel):
+    """Fail specific (task_id, attempt_index) pairs — precise test control."""
+
+    def __init__(self, failures: set[tuple[str, int]],
+                 fail_at_fraction: float = 0.5, max_attempts: int = 4):
+        if not 0.0 < fail_at_fraction <= 1.0:
+            raise ValidationError("fail_at_fraction must be in (0, 1]")
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        self.failures = set(failures)
+        self.fail_at_fraction = fail_at_fraction
+        self.max_attempts = max_attempts
+
+    def failure_fraction(self, task_id: str, attempt_index: int) -> float | None:
+        if (task_id, attempt_index) in self.failures:
+            return self.fail_at_fraction
+        return None

@@ -1,0 +1,496 @@
+"""Discrete-event simulation of a Hadoop cluster executing a job DAG.
+
+This is the "simulation" leg of Cumulon's benchmarking + simulation +
+modeling + search pipeline: given per-task time predictions from the cost
+model, it replays slot-based FIFO scheduling in virtual time and reports when
+each job — and the whole program — finishes.  It reproduces the effects that
+make cluster sizing non-trivial:
+
+* **waves** — ``ceil(tasks / slots)`` scheduling rounds, with a ragged last
+  wave that wastes slot-time;
+* **locality** — node-local tasks read from disk, remote ones over the
+  network (slower), so replication and placement matter;
+* **contention** — task duration grows when several slots on one node share
+  its disk bandwidth;
+* **per-job overheads and shuffle barriers** — what makes many-small-jobs
+  MapReduce plans lose to Cumulon's fused map-only plans;
+* **fault tolerance** — failed attempts are retried (up to the failure
+  model's ``max_attempts``), and optional *speculative execution* launches
+  duplicate attempts of stragglers on idle slots, Hadoop-style;
+* **heterogeneous nodes** — per-node slowdown factors model degraded VMs,
+  the phenomenon speculation exists to mitigate.
+
+Determinism: task assignment order is fixed (FIFO by job, then task index;
+nodes scanned in name order) and failures are pure functions of seeds, so a
+given input always yields the same timeline.  Task duration is computed once,
+at task start, from the node's concurrency at that moment — a documented
+simplification that keeps the simulation linear-time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.instances import ClusterSpec
+from repro.errors import SchedulingError, ValidationError
+from repro.hadoop.faults import FailureModel
+from repro.hadoop.job import Job, JobDag, JobKind
+from repro.hadoop.task import Task, TaskAttempt, TaskKind
+from repro.hadoop.timemodel import TaskTimeModel
+
+#: Attempt outcomes recorded in the timeline.
+SUCCESS = "success"
+FAILED = "failed"
+KILLED = "killed"  # speculative loser, cancelled mid-flight
+
+#: Scheduling policies.
+FIFO = "fifo"
+FAIR = "fair"
+
+
+@dataclass
+class JobTimeline:
+    """When one job ran, and where its tasks went."""
+
+    job_id: str
+    start: float
+    end: float
+    attempts: list[TaskAttempt] = field(default_factory=list)
+    shuffle_seconds: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of successful attempts with a preference that ran local."""
+        maps = [a for a in self.attempts
+                if a.task.preferred_nodes and a.status == SUCCESS]
+        if not maps:
+            return 1.0
+        return sum(1 for a in maps if a.was_local) / len(maps)
+
+    def attempts_with_status(self, status: str) -> list[TaskAttempt]:
+        return [a for a in self.attempts if a.status == status]
+
+
+@dataclass
+class SimulationResult:
+    """Full outcome of simulating a job DAG on a cluster."""
+
+    spec: ClusterSpec
+    job_timelines: dict[str, JobTimeline]
+    makespan: float
+
+    def job(self, job_id: str) -> JobTimeline:
+        try:
+            return self.job_timelines[job_id]
+        except KeyError:
+            raise ValidationError(f"no timeline for job {job_id!r}") from None
+
+    def total_task_seconds(self) -> float:
+        return sum(attempt.duration
+                   for timeline in self.job_timelines.values()
+                   for attempt in timeline.attempts)
+
+    def count_attempts(self, status: str) -> int:
+        return sum(len(t.attempts_with_status(status))
+                   for t in self.job_timelines.values())
+
+
+class _NodeState:
+    """Mutable per-node bookkeeping during simulation."""
+
+    __slots__ = ("name", "slots", "busy", "slow_factor")
+
+    def __init__(self, name: str, slots: int, slow_factor: float = 1.0):
+        self.name = name
+        self.slots = slots
+        self.busy = 0
+        self.slow_factor = slow_factor
+
+    @property
+    def free(self) -> int:
+        return self.slots - self.busy
+
+
+#: Speculate only on attempts running longer than this multiple of the
+#: job's average successful attempt (Hadoop's "slower than average" rule).
+SPECULATION_THRESHOLD = 1.2
+
+
+class _TaskState:
+    """Per-task progress: attempt counting, completion, speculation."""
+
+    __slots__ = ("task", "next_attempt", "completed", "running", "speculated")
+
+    def __init__(self, task: Task):
+        self.task = task
+        self.next_attempt = 0
+        self.completed = False
+        #: In-flight attempts of this task: token -> start time.
+        self.running: dict[int, float] = {}
+        self.speculated = False
+
+
+class _JobState:
+    """Progress of one job through map -> shuffle -> reduce phases."""
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.pending_maps: list[Task] = list(job.map_tasks)
+        self.pending_reduces: list[Task] = []
+        self.maps_remaining = len(job.map_tasks)
+        self.reduces_remaining = len(job.reduce_tasks)
+        self.shuffle_done = job.kind is JobKind.MAP_ONLY
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.attempts: list[TaskAttempt] = []
+        self.shuffle_seconds = 0.0
+        self.task_states: dict[Task, _TaskState] = {
+            task: _TaskState(task)
+            for task in job.map_tasks + job.reduce_tasks
+        }
+        #: Running statistics of successful attempt durations.
+        self.completed_duration_sum = 0.0
+        self.completed_count = 0
+        #: Attempts currently occupying a slot (fair scheduling key).
+        self.running_attempts = 0
+
+    @property
+    def finished(self) -> bool:
+        return (self.maps_remaining == 0 and self.reduces_remaining == 0
+                and self.shuffle_done)
+
+    def running_incomplete_tasks(self) -> list[_TaskState]:
+        """Tasks with an attempt in flight and no completion yet."""
+        return [ts for ts in self.task_states.values()
+                if ts.running and not ts.completed]
+
+
+class ClusterSimulator:
+    """Simulates FIFO slot scheduling of a :class:`JobDag` on a cluster."""
+
+    def __init__(self, spec: ClusterSpec, time_model: TaskTimeModel,
+                 locality_aware: bool = True,
+                 failures: FailureModel | None = None,
+                 speculative: bool = False,
+                 slow_nodes: dict[str, float] | None = None,
+                 scheduling: str = FIFO):
+        if scheduling not in (FIFO, FAIR):
+            raise ValidationError(
+                f"scheduling must be {FIFO!r} or {FAIR!r}, got {scheduling!r}"
+            )
+        self.spec = spec
+        self.time_model = time_model
+        self.locality_aware = locality_aware
+        self.failures = failures
+        self.speculative = speculative
+        self.scheduling = scheduling
+        self.slow_nodes = dict(slow_nodes or {})
+        for name, factor in self.slow_nodes.items():
+            if factor < 1.0:
+                raise ValidationError(
+                    f"slow-node factor must be >= 1, got {factor} for {name}"
+                )
+        self._clock = 0.0
+
+    def run(self, dag: JobDag, start_time: float = 0.0) -> SimulationResult:
+        if len(dag) == 0:
+            return SimulationResult(self.spec, {}, start_time)
+        nodes = [_NodeState(name, self.spec.slots_per_node,
+                            self.slow_nodes.get(name, 1.0))
+                 for name in self.spec.node_names()]
+        states = {job.job_id: _JobState(job) for job in dag}
+        order = [job.job_id for job in dag.topological_order()]
+        remaining_deps = {job.job_id: set(job.depends_on) for job in dag}
+
+        #: jobs whose dependencies are satisfied and that have runnable tasks
+        runnable: list[str] = []
+        self._clock = start_time
+        self._next_spec_check = float("inf")
+        events: list[tuple[float, int, str, object]] = []
+        counter = itertools.count()
+        token_counter = itertools.count()
+        cancelled: set[int] = set()
+
+        def push_event(time: float, kind: str, payload: object) -> None:
+            heapq.heappush(events, (time, next(counter), kind, payload))
+
+        def activate_ready_jobs() -> None:
+            for job_id in order:
+                state = states[job_id]
+                if (not remaining_deps[job_id] and state.started_at is None):
+                    state.started_at = (self._clock
+                                        + self.time_model.job_overhead(state.job))
+                    if state.job.map_tasks:
+                        push_event(state.started_at, "job-ready", job_id)
+                    else:
+                        # Degenerate job with no tasks: finishes immediately
+                        # after its overhead.
+                        push_event(state.started_at, "job-empty", job_id)
+
+        def start_attempt(state: _JobState, task: Task,
+                          node: _NodeState) -> None:
+            task_state = state.task_states[task]
+            attempt_index = task_state.next_attempt
+            task_state.next_attempt += 1
+            node.busy += 1
+            local = (not task.preferred_nodes
+                     or node.name in task.preferred_nodes)
+            duration = self.time_model.task_duration(
+                task, self.spec.instance_type, node.busy, local
+            ) * node.slow_factor
+            if duration <= 0:
+                raise SchedulingError(
+                    f"time model returned non-positive duration {duration} "
+                    f"for task {task.task_id}"
+                )
+            fraction = None
+            if self.failures is not None:
+                fraction = self.failures.failure_fraction(task.task_id,
+                                                          attempt_index)
+            token = next(token_counter)
+            task_state.running[token] = self._clock
+            state.running_attempts += 1
+            if fraction is not None:
+                attempt = TaskAttempt(
+                    task=task, node=node.name, start=self._clock,
+                    end=self._clock + duration * fraction,
+                    concurrency_at_start=node.busy, status=FAILED)
+                push_event(attempt.end, "task-failed",
+                           (attempt, state, node, token, attempt_index))
+            else:
+                attempt = TaskAttempt(
+                    task=task, node=node.name, start=self._clock,
+                    end=self._clock + duration,
+                    concurrency_at_start=node.busy, status=SUCCESS)
+                push_event(attempt.end, "task-done",
+                           (attempt, state, node, token))
+
+        def scan_order() -> list[str]:
+            """Job priority per the scheduling policy.
+
+            FIFO scans jobs in activation order (earlier jobs monopolize
+            the cluster); FAIR scans jobs with the fewest running attempts
+            first, equalizing shares across concurrent jobs.
+            """
+            if self.scheduling == FAIR:
+                return sorted(
+                    runnable,
+                    key=lambda job_id: (states[job_id].running_attempts,
+                                        runnable.index(job_id)),
+                )
+            return list(runnable)
+
+        def dispatch() -> None:
+            """Greedy assignment: fill free slots per the scheduling policy."""
+            progress = True
+            while progress:
+                progress = False
+                for job_id in scan_order():
+                    state = states[job_id]
+                    queue = (state.pending_maps if state.pending_maps
+                             else state.pending_reduces)
+                    if not queue:
+                        continue
+                    task = queue[0]
+                    node = self._pick_node(nodes, task)
+                    if node is None:
+                        continue
+                    queue.pop(0)
+                    start_attempt(state, task, node)
+                    progress = True
+                    break  # restart scan so priorities stay fresh
+            if self.speculative:
+                speculate()
+
+        def speculate() -> None:
+            """Duplicate stragglers onto idle slots, Hadoop-style: only
+            attempts already running longer than SPECULATION_THRESHOLD times
+            the job's average successful attempt qualify.  When a straggler
+            exists but has not yet crossed the threshold, a wake-up event is
+            scheduled for the moment it will."""
+            progress = True
+            next_eligible: float | None = None
+            while progress:
+                progress = False
+                free = [node for node in nodes if node.free > 0]
+                if not free:
+                    return
+                for job_id in runnable:
+                    state = states[job_id]
+                    if state.pending_maps or state.pending_reduces:
+                        continue  # real work first; dispatch handles it
+                    if state.completed_count == 0:
+                        continue  # no baseline to call anything slow yet
+                    average = (state.completed_duration_sum
+                               / state.completed_count)
+                    cutoff = SPECULATION_THRESHOLD * average
+                    candidates = []
+                    for task_state in state.running_incomplete_tasks():
+                        if task_state.speculated:
+                            continue
+                        elapsed = self._clock - min(task_state.running.values())
+                        if elapsed > cutoff:
+                            candidates.append(task_state)
+                        else:
+                            eligible_at = (min(task_state.running.values())
+                                           + cutoff)
+                            if next_eligible is None \
+                                    or eligible_at < next_eligible:
+                                next_eligible = eligible_at
+                    if not candidates:
+                        continue
+                    # Longest-running straggler first.
+                    target = min(candidates,
+                                 key=lambda ts: min(ts.running.values()))
+                    node = self._pick_node(nodes, target.task)
+                    if node is None:
+                        continue
+                    target.speculated = True
+                    start_attempt(state, target.task, node)
+                    progress = True
+                    break
+            if (next_eligible is not None
+                    and next_eligible > self._clock
+                    and next_eligible < self._next_spec_check):
+                self._next_spec_check = next_eligible
+                push_event(next_eligible + 1e-9, "spec-check", None)
+
+        def complete_task(state: _JobState, attempt: TaskAttempt) -> None:
+            task_state = state.task_states[attempt.task]
+            task_state.completed = True
+            state.completed_duration_sum += attempt.duration
+            state.completed_count += 1
+            # Kill any surviving twin attempts: their events become stale.
+            for token in task_state.running:
+                cancelled.add(token)
+            task_state.running.clear()
+            if attempt.task.kind is TaskKind.MAP:
+                state.maps_remaining -= 1
+                if state.maps_remaining == 0 and not state.shuffle_done:
+                    self._schedule_shuffle(state, push_event)
+            else:
+                state.reduces_remaining -= 1
+            if state.finished:
+                finish_job(state)
+
+        def finish_job(state: _JobState) -> None:
+            state.finished_at = self._clock
+            for deps in remaining_deps.values():
+                deps.discard(state.job.job_id)
+            if state.job.job_id in runnable:
+                runnable.remove(state.job.job_id)
+            activate_ready_jobs()
+
+        activate_ready_jobs()
+
+        while events:
+            self._clock, __, kind, payload = heapq.heappop(events)
+            if kind == "job-ready":
+                runnable.append(payload)
+            elif kind == "job-empty":
+                finish_job(states[payload])
+            elif kind == "task-done":
+                attempt, state, node, token = payload
+                node.busy -= 1
+                state.running_attempts -= 1
+                task_state = state.task_states[attempt.task]
+                if token in cancelled:
+                    cancelled.discard(token)
+                    killed = TaskAttempt(
+                        task=attempt.task, node=attempt.node,
+                        start=attempt.start, end=self._clock,
+                        concurrency_at_start=attempt.concurrency_at_start,
+                        status=KILLED)
+                    state.attempts.append(killed)
+                else:
+                    task_state.running.pop(token, None)
+                    state.attempts.append(attempt)
+                    if not task_state.completed:
+                        complete_task(state, attempt)
+            elif kind == "task-failed":
+                attempt, state, node, token, attempt_index = payload
+                node.busy -= 1
+                state.running_attempts -= 1
+                task_state = state.task_states[attempt.task]
+                if token in cancelled:
+                    cancelled.discard(token)
+                    state.attempts.append(TaskAttempt(
+                        task=attempt.task, node=attempt.node,
+                        start=attempt.start, end=self._clock,
+                        concurrency_at_start=attempt.concurrency_at_start,
+                        status=KILLED))
+                else:
+                    task_state.running.pop(token, None)
+                    state.attempts.append(attempt)
+                    if not task_state.completed:
+                        max_attempts = self.failures.max_attempts
+                        if attempt_index + 1 >= max_attempts:
+                            raise SchedulingError(
+                                f"task {attempt.task.task_id} failed "
+                                f"{max_attempts} times; job "
+                                f"{state.job.job_id} aborted"
+                            )
+                        task_state.speculated = False
+                        if attempt.task.kind is TaskKind.MAP:
+                            state.pending_maps.append(attempt.task)
+                        else:
+                            state.pending_reduces.append(attempt.task)
+            elif kind == "spec-check":
+                self._next_spec_check = float("inf")
+            elif kind == "shuffle-done":
+                state = payload
+                state.shuffle_done = True
+                state.pending_reduces = list(state.job.reduce_tasks)
+                if state.finished:
+                    finish_job(state)
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(f"unknown event kind {kind!r}")
+            dispatch()
+
+        unfinished = [job_id for job_id, state in states.items()
+                      if state.finished_at is None]
+        if unfinished:
+            raise SchedulingError(
+                f"simulation ended with unfinished jobs: {unfinished} "
+                "(dependency cycle or starved tasks)"
+            )
+
+        timelines = {
+            job_id: JobTimeline(
+                job_id=job_id,
+                start=state.started_at,
+                end=state.finished_at,
+                attempts=state.attempts,
+                shuffle_seconds=state.shuffle_seconds,
+            )
+            for job_id, state in states.items()
+        }
+        makespan = max(t.end for t in timelines.values())
+        return SimulationResult(self.spec, timelines, makespan)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _pick_node(self, nodes: list[_NodeState], task: Task) -> _NodeState | None:
+        free_nodes = [node for node in nodes if node.free > 0]
+        if not free_nodes:
+            return None
+        if self.locality_aware and task.preferred_nodes:
+            local = [node for node in free_nodes
+                     if node.name in task.preferred_nodes]
+            if local:
+                # Least-loaded local node; name breaks ties deterministically.
+                return min(local, key=lambda node: (node.busy, node.name))
+        return min(free_nodes, key=lambda node: (node.busy, node.name))
+
+    def _schedule_shuffle(self, state: _JobState, push_event) -> None:
+        bandwidth = (self.spec.num_nodes
+                     * self.spec.instance_type.network_bandwidth)
+        seconds = self.time_model.shuffle_duration(state.job, bandwidth)
+        state.shuffle_seconds = seconds
+        push_event(self._clock + seconds, "shuffle-done", state)

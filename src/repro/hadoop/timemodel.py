@@ -1,0 +1,53 @@
+"""Interface between the simulator and the cost model.
+
+The simulator owns *when* tasks run; a :class:`TaskTimeModel` owns *how long*
+each one takes given the node it landed on and how many tasks share that
+node.  ``repro.core.costmodel`` provides the fitted implementation; a trivial
+fixed-duration model lives here for scheduler testing.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import InstanceType
+from repro.errors import ValidationError
+from repro.hadoop.job import Job
+from repro.hadoop.task import Task
+
+
+class TaskTimeModel:
+    """Predicts task durations and fixed per-job overheads."""
+
+    def task_duration(self, task: Task, instance: InstanceType,
+                      concurrency: int, local: bool) -> float:
+        """Seconds for ``task`` on ``instance`` with ``concurrency`` tasks
+        sharing the node; ``local`` is whether its input is node-local."""
+        raise NotImplementedError
+
+    def job_overhead(self, job: Job) -> float:
+        """Fixed seconds charged once per job (submission, JVM start-up)."""
+        raise NotImplementedError
+
+    def shuffle_duration(self, job: Job, total_network_bandwidth: float) -> float:
+        """Seconds to move the job's shuffle volume across the network."""
+        if total_network_bandwidth <= 0:
+            raise ValidationError("network bandwidth must be positive")
+        return job.shuffle_bytes / total_network_bandwidth
+
+
+class FixedTimeModel(TaskTimeModel):
+    """Every task takes a constant time; used to unit-test the scheduler."""
+
+    def __init__(self, task_seconds: float = 1.0, overhead_seconds: float = 0.0):
+        if task_seconds <= 0:
+            raise ValidationError("task_seconds must be positive")
+        if overhead_seconds < 0:
+            raise ValidationError("overhead_seconds must be >= 0")
+        self.task_seconds = task_seconds
+        self.overhead_seconds = overhead_seconds
+
+    def task_duration(self, task: Task, instance: InstanceType,
+                      concurrency: int, local: bool) -> float:
+        return self.task_seconds
+
+    def job_overhead(self, job: Job) -> float:
+        return self.overhead_seconds

@@ -1,0 +1,66 @@
+"""HDFS block metadata.
+
+An HDFS file is a sequence of blocks; each block is replicated on several
+datanodes.  Tiles are small relative to the 64 MB block size Cumulon used, so
+in this simulation each tile file occupies exactly one block whose size equals
+the tile's serialized size (capped at ``DEFAULT_BLOCK_SIZE``; larger payloads
+split into multiple blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+#: Default HDFS block size (64 MB, the Hadoop 1.x default Cumulon ran on).
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+#: Default replication factor.
+DEFAULT_REPLICATION = 3
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique block identifier within a namenode."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValidationError(f"block id must be non-negative, got {self.value}")
+
+
+@dataclass
+class BlockInfo:
+    """Metadata for one block: size and the datanodes holding replicas."""
+
+    block_id: BlockId
+    size: int
+    replicas: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValidationError(f"block size must be non-negative, got {self.size}")
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+
+def split_into_block_sizes(total_bytes: int,
+                           block_size: int = DEFAULT_BLOCK_SIZE) -> list[int]:
+    """Sizes of the blocks a file of ``total_bytes`` occupies."""
+    if total_bytes < 0:
+        raise ValidationError(f"file size must be non-negative, got {total_bytes}")
+    if block_size <= 0:
+        raise ValidationError(f"block size must be positive, got {block_size}")
+    if total_bytes == 0:
+        return [0]
+    sizes = []
+    remaining = total_bytes
+    while remaining > 0:
+        chunk = min(block_size, remaining)
+        sizes.append(chunk)
+        remaining -= chunk
+    return sizes

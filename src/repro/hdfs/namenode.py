@@ -1,0 +1,174 @@
+"""The namenode: file namespace, block map, and replica management.
+
+This is a metadata-faithful simulation of HDFS: files map to blocks, blocks
+map to replica locations, and every byte of capacity is accounted for on the
+datanodes.  Payload *contents* are stored in a side table keyed by path
+(rather than shipped around), which keeps the simulation cheap while letting
+read-after-write tests verify real data round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    FileExistsInHDFSError,
+    FileNotFoundInHDFSError,
+    ReplicationError,
+    ValidationError,
+)
+from repro.hdfs.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_REPLICATION,
+    BlockId,
+    BlockInfo,
+    split_into_block_sizes,
+)
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.placement import DefaultPlacement, PlacementPolicy
+
+
+@dataclass
+class FileEntry:
+    """Namespace entry: ordered blocks plus the (simulated) payload."""
+
+    path: str
+    blocks: list[BlockId] = field(default_factory=list)
+    payload: object = None
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class NameNode:
+    """Single-namenode HDFS metadata service."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = DEFAULT_REPLICATION,
+                 placement: PlacementPolicy | None = None):
+        if block_size <= 0:
+            raise ValidationError(f"block size must be positive, got {block_size}")
+        if replication <= 0:
+            raise ValidationError(f"replication must be positive, got {replication}")
+        self.block_size = block_size
+        self.replication = replication
+        self.placement = placement if placement is not None else DefaultPlacement()
+        self._datanodes: dict[str, DataNode] = {}
+        self._files: dict[str, FileEntry] = {}
+        self._blocks: dict[BlockId, BlockInfo] = {}
+        self._next_block = 0
+
+    # -- cluster membership ---------------------------------------------------
+
+    def register_datanode(self, node: DataNode) -> None:
+        if node.name in self._datanodes:
+            raise ValidationError(f"datanode {node.name!r} already registered")
+        self._datanodes[node.name] = node
+
+    def datanodes(self) -> list[DataNode]:
+        return list(self._datanodes.values())
+
+    def decommission(self, name: str) -> None:
+        """Remove a datanode, re-replicating its blocks elsewhere."""
+        try:
+            node = self._datanodes.pop(name)
+        except KeyError:
+            raise ValidationError(f"unknown datanode {name!r}") from None
+        for block_id in node.block_ids():
+            info = self._blocks[block_id]
+            info.replicas.discard(name)
+            node.evict(block_id)
+            self._restore_replication(info)
+
+    def _restore_replication(self, info: BlockInfo) -> None:
+        target = min(self.replication, len(self._datanodes))
+        while info.replication < target:
+            holders = info.replicas
+            spare = [node for node in self._datanodes.values()
+                     if node.name not in holders and node.free_bytes >= info.size]
+            if not spare:
+                raise ReplicationError(
+                    f"cannot restore replication of block {info.block_id.value}"
+                )
+            spare.sort(key=lambda node: (node.used_bytes, node.name))
+            chosen = spare[0]
+            chosen.store(info.block_id, info.size)
+            info.replicas.add(chosen.name)
+
+    # -- namespace operations ---------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def create(self, path: str, size: int, payload: object = None,
+               writer: str | None = None) -> FileEntry:
+        """Create a file of ``size`` bytes, allocating and placing its blocks."""
+        if not path:
+            raise ValidationError("path must be non-empty")
+        if self.exists(path):
+            raise FileExistsInHDFSError(f"path already exists: {path}")
+        if not self._datanodes:
+            raise ReplicationError("no datanodes registered")
+        entry = FileEntry(path=path, payload=payload)
+        target = min(self.replication, len(self._datanodes))
+        for chunk in split_into_block_sizes(size, self.block_size):
+            block_id = BlockId(self._next_block)
+            self._next_block += 1
+            info = BlockInfo(block_id, chunk)
+            nodes = self.placement.choose(self.datanodes(), chunk, target, writer)
+            for node in nodes:
+                node.store(block_id, chunk)
+                info.replicas.add(node.name)
+            self._blocks[block_id] = info
+            entry.blocks.append(block_id)
+        self._files[path] = entry
+        return entry
+
+    def delete(self, path: str) -> None:
+        try:
+            entry = self._files.pop(path)
+        except KeyError:
+            raise FileNotFoundInHDFSError(f"no such file: {path}") from None
+        for block_id in entry.blocks:
+            info = self._blocks.pop(block_id)
+            for holder in info.replicas:
+                node = self._datanodes.get(holder)
+                if node is not None:
+                    node.evict(block_id)
+
+    def read(self, path: str) -> object:
+        """Return the payload stored at ``path``."""
+        return self._entry(path).payload
+
+    def file_size(self, path: str) -> int:
+        entry = self._entry(path)
+        return sum(self._blocks[block_id].size for block_id in entry.blocks)
+
+    def block_infos(self, path: str) -> list[BlockInfo]:
+        entry = self._entry(path)
+        return [self._blocks[block_id] for block_id in entry.blocks]
+
+    def replica_nodes(self, path: str) -> set[str]:
+        """Union of datanode names holding any block of the file."""
+        nodes: set[str] = set()
+        for info in self.block_infos(path):
+            nodes |= info.replicas
+        return nodes
+
+    def is_local(self, path: str, node_name: str) -> bool:
+        """True when every block of ``path`` has a replica on ``node_name``."""
+        infos = self.block_infos(path)
+        return all(node_name in info.replicas for info in infos)
+
+    def total_used_bytes(self) -> int:
+        return sum(node.used_bytes for node in self._datanodes.values())
+
+    def _entry(self, path: str) -> FileEntry:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInHDFSError(f"no such file: {path}") from None

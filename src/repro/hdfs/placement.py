@@ -1,0 +1,79 @@
+"""Replica placement policies.
+
+HDFS's default policy writes the first replica on the writer's node and
+spreads the rest across other nodes.  The policy only *chooses* nodes; the
+namenode performs the actual stores and enforces invariants.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReplicationError
+from repro.hdfs.datanode import DataNode
+
+
+class PlacementPolicy:
+    """Interface: pick the datanodes that receive a new block's replicas."""
+
+    def choose(self, nodes: list[DataNode], size: int, replication: int,
+               writer: str | None = None) -> list[DataNode]:
+        raise NotImplementedError
+
+
+class DefaultPlacement(PlacementPolicy):
+    """HDFS-like rack-aware placement.
+
+    Replica 1 goes to the writer's node (when given), replica 2 to a node on
+    a *different* rack, replica 3 back on replica 2's rack on a different
+    node, and any further replicas to the least-loaded remaining nodes —
+    the classic HDFS trade of write cost vs rack-failure tolerance.  On a
+    single-rack cluster this degrades to writer-local + least-loaded.
+
+    Deterministic given the node list (ties broken by name) unless a seed is
+    provided, in which case remote candidates are shuffled first — useful for
+    exercising the locality-scheduling experiments with varied layouts.
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed) if seed is not None else None
+
+    def choose(self, nodes: list[DataNode], size: int, replication: int,
+               writer: str | None = None) -> list[DataNode]:
+        candidates = [node for node in nodes if node.free_bytes >= size]
+        if len(candidates) < min(replication, 1):
+            raise ReplicationError(
+                f"no datanode has {size} free bytes for a new block"
+            )
+        remote = list(candidates)
+        if self._rng is not None:
+            self._rng.shuffle(remote)
+        remote.sort(key=lambda node: (node.used_bytes, node.name))
+
+        chosen: list[DataNode] = []
+
+        def take(node: DataNode) -> None:
+            chosen.append(node)
+            remote.remove(node)
+
+        # Replica 1: writer-local when possible, else least loaded.
+        local = [node for node in remote if node.name == writer]
+        take(local[0] if local else remote[0])
+
+        # Replica 2: a different rack than replica 1, when one exists.
+        if len(chosen) < replication and remote:
+            off_rack = [node for node in remote
+                        if node.rack != chosen[0].rack]
+            take(off_rack[0] if off_rack else remote[0])
+
+        # Replica 3: same rack as replica 2, different node — else anything.
+        if len(chosen) < replication and remote:
+            second_rack = [node for node in remote
+                           if node.rack == chosen[1].rack]
+            take(second_rack[0] if second_rack else remote[0])
+
+        # Remaining replicas: least loaded of whatever is left.
+        while len(chosen) < replication and remote:
+            take(remote[0])
+
+        return chosen

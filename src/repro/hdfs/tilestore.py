@@ -1,0 +1,90 @@
+"""TileStore: matrices as HDFS directories of tile files.
+
+Cumulon stores each matrix as an HDFS directory with one file per tile.  A
+:class:`TileStore` is a :class:`repro.matrix.tiled.TileBacking` whose payloads
+live in the simulated namenode, so the scheduler can ask "which node holds
+this tile?" and the cost model can ask "how many bytes does this job read?".
+"""
+
+from __future__ import annotations
+
+from repro.errors import FileNotFoundInHDFSError, StorageError
+from repro.hdfs.namenode import NameNode
+from repro.matrix.tile import Tile, TileId
+from repro.matrix.tiled import TileBacking
+
+
+class TileStore(TileBacking):
+    """Tile backing that persists tiles as files in a (simulated) HDFS."""
+
+    def __init__(self, namenode: NameNode, root: str = "/matrices"):
+        self.namenode = namenode
+        self.root = root.rstrip("/")
+
+    def path_for(self, tile_id: TileId) -> str:
+        return f"{self.root}/{tile_id.key()}"
+
+    # -- TileBacking interface ---------------------------------------------------
+
+    def get(self, tile_id: TileId) -> Tile:
+        path = self.path_for(tile_id)
+        payload = self.namenode.read(path)
+        if not isinstance(payload, Tile):
+            raise StorageError(f"path {path} does not hold a tile")
+        return payload
+
+    def put(self, tile: Tile, writer: str | None = None) -> None:
+        """Write a tile, replacing any previous version (overwrite-on-put)."""
+        path = self.path_for(tile.tile_id)
+        if self.namenode.exists(path):
+            self.namenode.delete(path)
+        self.namenode.create(path, tile.nbytes(), payload=tile, writer=writer)
+
+    def put_virtual(self, tile_id: TileId, nbytes: int,
+                    writer: str | None = None) -> None:
+        """Create a tile *file* (metadata + placement) without a payload.
+
+        Used by the optimizer's simulations: jobs over terabyte-scale virtual
+        matrices need real block placement for locality decisions but no
+        actual numbers.
+        """
+        path = self.path_for(tile_id)
+        if self.namenode.exists(path):
+            self.namenode.delete(path)
+        self.namenode.create(path, nbytes, payload=None, writer=writer)
+
+    # -- storage-aware queries ---------------------------------------------------
+
+    def exists(self, tile_id: TileId) -> bool:
+        return self.namenode.exists(self.path_for(tile_id))
+
+    def tile_bytes(self, tile_id: TileId) -> int:
+        return self.namenode.file_size(self.path_for(tile_id))
+
+    def replica_nodes(self, tile_id: TileId) -> set[str]:
+        """Datanodes holding a full replica of this tile."""
+        path = self.path_for(tile_id)
+        try:
+            infos = self.namenode.block_infos(path)
+        except FileNotFoundInHDFSError:
+            return set()
+        if not infos:
+            return set()
+        nodes = set(infos[0].replicas)
+        for info in infos[1:]:
+            nodes &= info.replicas
+        return nodes
+
+    def matrix_bytes(self, matrix_name: str) -> int:
+        """Total stored bytes across every tile of a matrix."""
+        prefix = f"{self.root}/{matrix_name}/"
+        return sum(self.namenode.file_size(path)
+                   for path in self.namenode.list_files(prefix))
+
+    def delete_matrix(self, matrix_name: str) -> int:
+        """Delete all tiles of a matrix; returns how many files were removed."""
+        prefix = f"{self.root}/{matrix_name}/"
+        paths = self.namenode.list_files(prefix)
+        for path in paths:
+            self.namenode.delete(path)
+        return len(paths)

@@ -1,0 +1,231 @@
+"""Tiled matrices: logical shape plus a grid of tiles.
+
+:class:`TiledMatrix` owns only *metadata* — the logical shape, the tile size,
+and the name under which tiles are stored.  The tile payloads themselves live
+in a :class:`repro.hdfs.tilestore.TileStore`, mirroring Cumulon where matrices
+are HDFS directories of tile files.  For convenience (tests, examples) a
+matrix can also be materialized fully in memory via :class:`DenseBacking`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.matrix.tile import Tile, TileId
+
+#: Default tile side, matching Cumulon's "a few thousand" squared tiles,
+#: scaled down so laptop-scale tests stay fast.
+DEFAULT_TILE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of a tiled matrix: logical shape and tile side length."""
+
+    rows: int
+    cols: int
+    tile_size: int = DEFAULT_TILE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValidationError(f"matrix shape must be positive, got {self.shape}")
+        if self.tile_size <= 0:
+            raise ValidationError(f"tile size must be positive, got {self.tile_size}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def tile_rows(self) -> int:
+        """Number of tile rows."""
+        return math.ceil(self.rows / self.tile_size)
+
+    @property
+    def tile_cols(self) -> int:
+        """Number of tile columns."""
+        return math.ceil(self.cols / self.tile_size)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tile_rows * self.tile_cols
+
+    def tile_shape(self, tile_row: int, tile_col: int) -> tuple[int, int]:
+        """Shape of the tile at grid position (tile_row, tile_col)."""
+        self.check_position(tile_row, tile_col)
+        height = min(self.tile_size, self.rows - tile_row * self.tile_size)
+        width = min(self.tile_size, self.cols - tile_col * self.tile_size)
+        return (height, width)
+
+    def check_position(self, tile_row: int, tile_col: int) -> None:
+        if not (0 <= tile_row < self.tile_rows and 0 <= tile_col < self.tile_cols):
+            raise ValidationError(
+                f"tile position ({tile_row}, {tile_col}) outside grid "
+                f"{self.tile_rows}x{self.tile_cols}"
+            )
+
+    def positions(self):
+        """Iterate all (tile_row, tile_col) grid positions in row-major order."""
+        for tile_row in range(self.tile_rows):
+            for tile_col in range(self.tile_cols):
+                yield (tile_row, tile_col)
+
+    def slice_for(self, tile_row: int, tile_col: int) -> tuple[slice, slice]:
+        """Numpy slices selecting this tile from the assembled matrix."""
+        self.check_position(tile_row, tile_col)
+        row_start = tile_row * self.tile_size
+        col_start = tile_col * self.tile_size
+        height, width = self.tile_shape(tile_row, tile_col)
+        return (slice(row_start, row_start + height),
+                slice(col_start, col_start + width))
+
+
+class TileBacking:
+    """Interface for where a matrix's tile payloads live."""
+
+    def get(self, tile_id: TileId) -> Tile:
+        raise NotImplementedError
+
+    def put(self, tile: Tile) -> None:
+        raise NotImplementedError
+
+
+class DenseBacking(TileBacking):
+    """In-memory backing: a plain dict from tile key to Tile."""
+
+    def __init__(self) -> None:
+        self._tiles: dict[str, Tile] = {}
+
+    def get(self, tile_id: TileId) -> Tile:
+        try:
+            return self._tiles[tile_id.key()]
+        except KeyError:
+            raise ShapeError(f"tile {tile_id.key()} was never written") from None
+
+    def put(self, tile: Tile) -> None:
+        self._tiles[tile.tile_id.key()] = tile
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+
+class TiledMatrix:
+    """A named matrix partitioned into tiles held by a backing store."""
+
+    def __init__(self, name: str, grid: TileGrid, backing: TileBacking | None = None):
+        if not name:
+            raise ValidationError("matrix name must be non-empty")
+        self.name = name
+        self.grid = grid
+        self.backing = backing if backing is not None else DenseBacking()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, name: str, array: np.ndarray,
+                   tile_size: int = DEFAULT_TILE_SIZE,
+                   backing: TileBacking | None = None) -> "TiledMatrix":
+        """Partition a dense numpy array into tiles."""
+        array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+        if array.ndim != 2:
+            raise ShapeError(f"expected 2-D array, got {array.ndim}-D")
+        grid = TileGrid(array.shape[0], array.shape[1], tile_size)
+        matrix = cls(name, grid, backing)
+        for tile_row, tile_col in grid.positions():
+            rows, cols = grid.slice_for(tile_row, tile_col)
+            matrix.put_tile(tile_row, tile_col, array[rows, cols])
+        return matrix
+
+    @classmethod
+    def zeros(cls, name: str, rows: int, cols: int,
+              tile_size: int = DEFAULT_TILE_SIZE,
+              backing: TileBacking | None = None) -> "TiledMatrix":
+        return cls.from_numpy(name, np.zeros((rows, cols)), tile_size, backing)
+
+    @classmethod
+    def identity(cls, name: str, size: int,
+                 tile_size: int = DEFAULT_TILE_SIZE,
+                 backing: TileBacking | None = None) -> "TiledMatrix":
+        return cls.from_numpy(name, np.eye(size), tile_size, backing)
+
+    # -- tile access ---------------------------------------------------------
+
+    def tile_id(self, tile_row: int, tile_col: int) -> TileId:
+        self.grid.check_position(tile_row, tile_col)
+        return TileId(self.name, tile_row, tile_col)
+
+    def get_tile(self, tile_row: int, tile_col: int) -> Tile:
+        return self.backing.get(self.tile_id(tile_row, tile_col))
+
+    def put_tile(self, tile_row: int, tile_col: int, payload) -> Tile:
+        tile_id = self.tile_id(tile_row, tile_col)
+        tile = Tile(tile_id, payload)
+        expected = self.grid.tile_shape(tile_row, tile_col)
+        if tile.shape != expected:
+            raise ShapeError(
+                f"tile {tile_id.key()} has shape {tile.shape}, expected {expected}"
+            )
+        self.backing.put(tile.compacted())
+        return tile
+
+    def tiles(self):
+        """Iterate all tiles in row-major order."""
+        for tile_row, tile_col in self.grid.positions():
+            yield self.get_tile(tile_row, tile_col)
+
+    # -- whole-matrix views ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.grid.shape
+
+    def to_numpy(self) -> np.ndarray:
+        """Assemble the full dense matrix (tests / small matrices only)."""
+        result = np.zeros(self.shape)
+        for tile_row, tile_col in self.grid.positions():
+            rows, cols = self.grid.slice_for(tile_row, tile_col)
+            result[rows, cols] = self.get_tile(tile_row, tile_col).to_dense()
+        return result
+
+    def nbytes(self) -> int:
+        """Total serialized bytes across all tiles."""
+        return sum(tile.nbytes() for tile in self.tiles())
+
+    def nnz(self) -> int:
+        """Total stored nonzeros across all tiles."""
+        return sum(tile.nnz for tile in self.tiles())
+
+    def density(self) -> float:
+        """Fraction of nonzero elements over the logical size."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz() / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TiledMatrix({self.name!r}, shape={self.shape}, "
+                f"tile_size={self.grid.tile_size})")
+
+
+def assert_same_grid(left: TiledMatrix, right: TiledMatrix) -> None:
+    """Raise unless two matrices share shape and tile size."""
+    if left.shape != right.shape or left.grid.tile_size != right.grid.tile_size:
+        raise ShapeError(
+            f"matrices {left.name!r} {left.shape} and {right.name!r} "
+            f"{right.shape} are not aligned"
+        )
+
+
+def multiply_grid(left: TileGrid, right: TileGrid) -> TileGrid:
+    """Grid of the product of two conforming tiled matrices."""
+    if left.cols != right.rows:
+        raise ShapeError(
+            f"cannot multiply shapes {left.shape} and {right.shape}"
+        )
+    if left.tile_size != right.tile_size:
+        raise ShapeError(
+            f"tile sizes disagree: {left.tile_size} vs {right.tile_size}"
+        )
+    return TileGrid(left.rows, right.cols, left.tile_size)

@@ -1,0 +1,80 @@
+"""Matrix-multiply chains and power iteration.
+
+``build_multiply_program`` is the micro-workload behind the operator-level
+experiments (E1, E2, E3, E10); ``build_power_iteration_program`` is a
+PageRank-style workload mixing a sparse multiply with fused scalar ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import Program
+from repro.errors import ValidationError
+
+
+def build_multiply_program(rows: int, inner: int, cols: int,
+                           left_density: float = 1.0,
+                           right_density: float = 1.0) -> Program:
+    """One ``C = A @ B`` with the given shapes and densities."""
+    if min(rows, inner, cols) <= 0:
+        raise ValidationError("all dimensions must be positive")
+    program = Program(f"matmul-{rows}x{inner}x{cols}")
+    a = program.declare_input("A", rows, inner, density=left_density)
+    b = program.declare_input("B", inner, cols, density=right_density)
+    program.assign("C", a @ b)
+    program.mark_output("C")
+    return program
+
+
+def build_chain_program(dimension: int, length: int) -> Program:
+    """``C = M_1 @ M_2 @ ... @ M_length`` over square matrices."""
+    if dimension <= 0:
+        raise ValidationError("dimension must be positive")
+    if length < 2:
+        raise ValidationError("chain length must be at least 2")
+    program = Program(f"chain-{dimension}-len{length}")
+    matrices = [program.declare_input(f"M{index}", dimension, dimension)
+                for index in range(length)]
+    accumulator = program.assign("C", matrices[0] @ matrices[1])
+    for index in range(2, length):
+        accumulator = program.assign("C", accumulator @ matrices[index])
+    program.mark_output("C")
+    return program
+
+
+def build_power_iteration_program(nodes: int, iterations: int,
+                                  damping: float = 0.85,
+                                  adjacency_density: float = 0.01) -> Program:
+    """PageRank-style power iteration: ``r <- d*(A r) + (1-d)/n``."""
+    if nodes <= 0:
+        raise ValidationError("nodes must be positive")
+    if iterations <= 0:
+        raise ValidationError("iterations must be positive")
+    if not 0.0 < damping < 1.0:
+        raise ValidationError("damping must be in (0, 1)")
+    program = Program(f"pagerank-{nodes}-it{iterations}")
+    adjacency = program.declare_input("A", nodes, nodes,
+                                      density=adjacency_density)
+    rank = program.declare_input("r0", nodes, 1)
+    teleport = (1.0 - damping) / nodes
+    current = {"r": rank}
+
+    def iteration(index: int) -> None:
+        spread = program.assign(f"Ar_{index}", adjacency @ current["r"])
+        current["r"] = program.assign("r", spread * damping + teleport)
+
+    program.loop(iterations, iteration)
+    program.mark_output("r")
+    return program
+
+
+def reference_power_iteration(adjacency: np.ndarray, r0: np.ndarray,
+                              iterations: int,
+                              damping: float = 0.85) -> np.ndarray:
+    """Plain-numpy power iteration for cross-checking."""
+    rank = r0.copy()
+    teleport = (1.0 - damping) / adjacency.shape[0]
+    for __ in range(iterations):
+        rank = damping * (adjacency @ rank) + teleport
+    return rank

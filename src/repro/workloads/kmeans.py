@@ -1,0 +1,102 @@
+"""Soft k-means (fuzzy c-means flavored) — clustering in pure matrix algebra.
+
+Hard k-means needs an argmin, which a matrix language cannot express; the
+soft variant replaces it with exponential responsibilities and is exactly
+the kind of statistical program Cumulon targets.  One iteration:
+
+    D   = row_sums(X*X) + col_sums(C*C)' - 2 X C'     # squared distances
+    R   = exp(-beta * D)                              # affinities
+    R   = R / row_sums(R)                             # responsibilities
+    C'  = (R' X) / col_sums(R)'                       # weighted centroids
+
+Every line exercises a different language feature: Gram-style multiplies,
+constant-matrix reductions, broadcasting along both axes, and a fused
+element-function pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.expr import ones
+from repro.core.program import Program
+from repro.errors import ValidationError
+
+
+def build_soft_kmeans_program(rows: int, features: int, clusters: int,
+                              iterations: int,
+                              beta: float = 2.0) -> Program:
+    """``iterations`` soft k-means updates of the centroid matrix C."""
+    if min(rows, features, clusters) <= 0:
+        raise ValidationError("rows, features, clusters must be positive")
+    if iterations <= 0:
+        raise ValidationError("iterations must be positive")
+    if beta <= 0:
+        raise ValidationError("beta must be positive")
+    program = Program(
+        f"soft-kmeans-{rows}x{features}-k{clusters}-it{iterations}"
+    )
+    x = program.declare_input("X", rows, features)
+    c = program.declare_input("C0", clusters, features)
+    x_sq = program.assign("Xsq", (x * x).row_sums())       # rows x 1
+    current = {"C": c}
+
+    def iteration(index: int) -> None:
+        c_cur = current["C"]
+        c_sq = program.assign(f"Csq_{index}",
+                              (c_cur * c_cur).row_sums())  # clusters x 1
+        cross = program.assign(f"XCt_{index}", x @ c_cur.T)
+        distances = program.assign(
+            f"D_{index}",
+            x_sq + (ones(rows, 1) @ c_sq.T) - cross * 2.0,
+        )
+        affinity = program.assign(f"Raw_{index}",
+                                  (distances * (-beta)).apply("exp"))
+        responsibilities = program.assign(
+            f"R_{index}", affinity / affinity.row_sums())
+        mass = program.assign(f"mass_{index}",
+                              responsibilities.col_sums())  # 1 x clusters
+        weighted = program.assign(f"RtX_{index}",
+                                  responsibilities.T @ x)
+        current["C"] = program.assign("C", weighted / mass.T)
+
+    program.loop(iterations, iteration)
+    program.mark_output("C")
+    return program
+
+
+def reference_soft_kmeans(x: np.ndarray, c0: np.ndarray, iterations: int,
+                          beta: float = 2.0) -> np.ndarray:
+    """Plain-numpy soft k-means for cross-checking."""
+    centroids = c0.copy()
+    x_sq = (x * x).sum(axis=1, keepdims=True)
+    for __ in range(iterations):
+        c_sq = (centroids * centroids).sum(axis=1, keepdims=True)
+        distances = x_sq + c_sq.T - 2.0 * (x @ centroids.T)
+        affinity = np.exp(-beta * distances)
+        responsibilities = affinity / affinity.sum(axis=1, keepdims=True)
+        mass = responsibilities.sum(axis=0, keepdims=True)
+        centroids = (responsibilities.T @ x) / mass.T
+    return centroids
+
+
+def clustered_dataset(rows: int, features: int, clusters: int, seed: int,
+                      spread: float = 0.1
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Points around well-separated true centers; returns (X, centers)."""
+    if min(rows, features, clusters) <= 0:
+        raise ValidationError("rows, features, clusters must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((clusters, features)) * 3.0
+    labels = rng.integers(0, clusters, size=rows)
+    x = centers[labels] + spread * rng.standard_normal((rows, features))
+    return x, centers
+
+
+def centroid_match_error(found: np.ndarray, truth: np.ndarray) -> float:
+    """Mean distance from each true center to its nearest found centroid."""
+    errors = []
+    for center in truth:
+        distances = np.linalg.norm(found - center, axis=1)
+        errors.append(distances.min())
+    return float(np.mean(errors))

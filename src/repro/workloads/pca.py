@@ -1,0 +1,70 @@
+"""PCA via standardization plus a randomized range sketch.
+
+A composite workload exercising the whole language: column standardization
+(broadcast element-wise ops over column statistics), the covariance Gram
+matrix, and the randomized projection used by RSVD — the pipeline a data
+scientist would actually run for large-scale PCA:
+
+    Z = (X - mean(X)) / std(X)          # broadcast over columns
+    C = Z' Z / n                        # covariance (features x features)
+    S = C G                             # randomized range sketch of C
+
+The principal subspace is then extracted locally from the small sketch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import Program
+from repro.errors import ValidationError
+
+
+def build_pca_program(rows: int, features: int, sketch_cols: int) -> Program:
+    """Standardize, form the covariance, and sketch its range."""
+    if min(rows, features, sketch_cols) <= 0:
+        raise ValidationError("all dimensions must be positive")
+    if sketch_cols > features:
+        raise ValidationError("sketch_cols must be <= features")
+    program = Program(f"pca-{rows}x{features}-k{sketch_cols}")
+    x = program.declare_input("X", rows, features)
+    g = program.declare_input("G", features, sketch_cols)
+
+    mean = program.assign("mean", x.col_sums() * (1.0 / rows))
+    centered = program.assign("centered", x - mean)
+    variance = program.assign(
+        "variance", (centered * centered).col_sums() * (1.0 / rows))
+    z = program.assign("Z", centered / variance.apply("sqrt"))
+    covariance = program.assign("C", (z.T @ z) * (1.0 / rows))
+    program.assign("S", covariance @ g)
+    program.mark_output("S", "C")
+    return program
+
+
+def reference_pca(x: np.ndarray, g: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Plain-numpy version of the pipeline for cross-checking."""
+    rows = x.shape[0]
+    z = (x - x.mean(axis=0)) / x.std(axis=0)
+    covariance = z.T @ z / rows
+    return covariance @ g, covariance
+
+
+def principal_components(sketch: np.ndarray, n_components: int) -> np.ndarray:
+    """Local extraction: orthonormal basis of the sketched range."""
+    if n_components <= 0 or n_components > sketch.shape[1]:
+        raise ValidationError(
+            f"n_components must be in [1, {sketch.shape[1]}]"
+        )
+    q, __ = np.linalg.qr(sketch)
+    return q[:, :n_components]
+
+
+def explained_variance_ratio(covariance: np.ndarray,
+                             components: np.ndarray) -> float:
+    """Fraction of total variance captured by the component subspace."""
+    total = np.trace(covariance)
+    if total <= 0:
+        return 1.0
+    captured = np.trace(components.T @ covariance @ components)
+    return float(captured / total)

@@ -1,0 +1,148 @@
+"""Unit and property tests for element-wise broadcasting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import run_program
+from repro.core.expr import Var, broadcast_shapes, evaluate_with_numpy
+from repro.core.physical import MatrixInfo, Operand, broadcast_position
+from repro.core.program import Program
+from repro.errors import ShapeError
+from repro.matrix.tiled import TileGrid
+
+RNG = np.random.default_rng(51)
+
+
+class TestBroadcastShapes:
+    def test_equal(self):
+        assert broadcast_shapes((3, 4), (3, 4)) == (3, 4)
+
+    def test_row_vector(self):
+        assert broadcast_shapes((3, 4), (1, 4)) == (3, 4)
+        assert broadcast_shapes((1, 4), (3, 4)) == (3, 4)
+
+    def test_col_vector(self):
+        assert broadcast_shapes((3, 4), (3, 1)) == (3, 4)
+
+    def test_scalar(self):
+        assert broadcast_shapes((3, 4), (1, 1)) == (3, 4)
+        assert broadcast_shapes((1, 1), (1, 1)) == (1, 1)
+
+    def test_cross_vectors(self):
+        # (r,1) x (1,c) broadcasts to (r,c) — outer-style combination.
+        assert broadcast_shapes((3, 1), (1, 4)) == (3, 4)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeError):
+            broadcast_shapes((3, 4), (2, 4))
+        with pytest.raises(ShapeError):
+            broadcast_shapes((3, 4), (3, 5))
+
+
+class TestBroadcastPosition:
+    def grid_operand(self, rows, cols, tile=4):
+        return Operand(MatrixInfo("A", TileGrid(rows, cols, tile)))
+
+    def test_full_matrix_identity(self):
+        operand = self.grid_operand(16, 16)
+        assert broadcast_position(operand, 2, 3) == (2, 3)
+
+    def test_column_vector_pins_col(self):
+        operand = self.grid_operand(16, 1)
+        assert broadcast_position(operand, 2, 3) == (2, 0)
+
+    def test_row_vector_pins_row(self):
+        operand = self.grid_operand(1, 16)
+        assert broadcast_position(operand, 2, 3) == (0, 3)
+
+    def test_scalar_pins_both(self):
+        operand = self.grid_operand(1, 1)
+        assert broadcast_position(operand, 2, 3) == (0, 0)
+
+
+class TestExecution:
+    def run_case(self, rows, cols, build, env, tile=8):
+        program = Program("bc")
+        for name, array in env.items():
+            program.declare_input(name, array.shape[0], array.shape[1])
+        program.assign("OUT", build(program))
+        program.mark_output("OUT")
+        return run_program(program, env, tile_size=tile).output("OUT")
+
+    def test_subtract_row_vector(self):
+        x = RNG.random((20, 12))
+        mu = RNG.random((1, 12))
+        out = self.run_case(20, 12,
+                            lambda p: Var("X", (20, 12)) - Var("mu", (1, 12)),
+                            {"X": x, "mu": mu})
+        np.testing.assert_allclose(out, x - mu)
+
+    def test_divide_column_vector(self):
+        x = RNG.random((20, 12)) + 1.0
+        s = RNG.random((20, 1)) + 1.0
+        out = self.run_case(20, 12,
+                            lambda p: Var("X", (20, 12)) / Var("s", (20, 1)),
+                            {"X": x, "s": s})
+        np.testing.assert_allclose(out, x / s)
+
+    def test_outer_sum_of_vectors(self):
+        a = RNG.random((20, 1))
+        b = RNG.random((1, 12))
+        out = self.run_case(20, 12,
+                            lambda p: Var("a", (20, 1)) + Var("b", (1, 12)),
+                            {"a": a, "b": b})
+        np.testing.assert_allclose(out, a + b)
+
+    def test_broadcast_inside_fused_chain(self):
+        x = RNG.random((20, 12))
+        mu = RNG.random((1, 12))
+        expr = ((Var("X", (20, 12)) - Var("mu", (1, 12))) * 2.0).apply("abs")
+        out = self.run_case(20, 12, lambda p: expr, {"X": x, "mu": mu})
+        np.testing.assert_allclose(out, np.abs((x - mu) * 2.0))
+
+    def test_standardization_pipeline(self):
+        x = RNG.random((32, 16)) + 0.5
+        program = Program("std")
+        xv = program.declare_input("X", 32, 16)
+        mean = program.assign("mean", xv.col_sums() * (1.0 / 32))
+        centered = program.assign("centered", xv - mean)
+        var = program.assign("var",
+                             (centered * centered).col_sums() * (1.0 / 32))
+        program.assign("Z", centered / var.apply("sqrt"))
+        program.mark_output("Z")
+        result = run_program(program, {"X": x}, tile_size=8)
+        expected = (x - x.mean(0)) / x.std(0)
+        np.testing.assert_allclose(result.output("Z"), expected, rtol=1e-8)
+
+    def test_ragged_tiles_broadcast(self):
+        x = RNG.random((21, 13))
+        mu = RNG.random((1, 13))
+        out = self.run_case(21, 13,
+                            lambda p: Var("X", (21, 13)) - Var("mu", (1, 13)),
+                            {"X": x, "mu": mu}, tile=5)
+        np.testing.assert_allclose(out, x - mu)
+
+
+@given(rows=st.integers(1, 20), cols=st.integers(1, 20),
+       tile=st.integers(1, 8), seed=st.integers(0, 2**31),
+       kind=st.sampled_from(["row", "col", "scalar"]))
+@settings(max_examples=40, deadline=None)
+def test_property_broadcast_matches_numpy(rows, cols, tile, seed, kind):
+    rng = np.random.default_rng(seed)
+    x = rng.random((rows, cols))
+    vec_shape = {"row": (1, cols), "col": (rows, 1),
+                 "scalar": (1, 1)}[kind]
+    vec = rng.random(vec_shape) + 0.5
+    program = Program("prop")
+    program.declare_input("X", rows, cols)
+    program.declare_input("v", *vec_shape)
+    expr = (Var("X", (rows, cols)) + Var("v", vec_shape)) \
+        * Var("v", vec_shape)
+    program.assign("OUT", expr)
+    program.mark_output("OUT")
+    result = run_program(program, {"X": x, "v": vec}, tile_size=tile,
+                         max_workers=1)
+    np.testing.assert_allclose(result.output("OUT"), (x + vec) * vec,
+                               atol=1e-9)

@@ -1,0 +1,142 @@
+"""Unit tests for checkpoint/restore of iterative programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpointer, IterativeRunner
+from repro.core.program import Program
+from repro.errors import ExecutionError, ValidationError
+from repro.matrix.tiled import DenseBacking, TiledMatrix
+
+RNG = np.random.default_rng(81)
+
+
+def gd_iteration_factory(rows=24, features=4, learning_rate=0.05):
+    """One gradient-descent step: w <- w - lr * X'(Xw - y)."""
+
+    def factory() -> Program:
+        program = Program("gd-step")
+        x = program.declare_input("X", rows, features)
+        y = program.declare_input("y", rows, 1)
+        w = program.declare_input("w", features, 1)
+        grad = program.assign("grad", x.T @ ((x @ w) - y))
+        program.assign("w", w - grad * learning_rate)
+        program.mark_output("w")
+        return program
+
+    return factory
+
+
+def reference_gd(x, y, w, steps, learning_rate=0.05):
+    for __ in range(steps):
+        w = w - learning_rate * (x.T @ (x @ w - y))
+    return w
+
+
+@pytest.fixture
+def problem():
+    x = RNG.standard_normal((24, 4)) * 0.3
+    y = RNG.standard_normal((24, 1))
+    w0 = np.zeros((4, 1))
+    return x, y, w0
+
+
+class TestCheckpointer:
+    def test_save_restore_roundtrip(self):
+        backing = DenseBacking()
+        checkpointer = Checkpointer(backing)
+        matrix = TiledMatrix.from_numpy("W", RNG.random((8, 8)), 4, backing)
+        checkpointer.save("iter-1", {"W": matrix})
+        restored = checkpointer.restore("iter-1")
+        np.testing.assert_array_equal(restored["W"], matrix.to_numpy())
+
+    def test_snapshot_is_a_copy(self):
+        backing = DenseBacking()
+        checkpointer = Checkpointer(backing)
+        matrix = TiledMatrix.from_numpy("W", np.ones((4, 4)), 2, backing)
+        checkpointer.save("iter-1", {"W": matrix})
+        matrix.put_tile(0, 0, np.zeros((2, 2)))  # mutate the original
+        restored = checkpointer.restore("iter-1")
+        np.testing.assert_array_equal(restored["W"], np.ones((4, 4)))
+
+    def test_latest_follows_insertion(self):
+        backing = DenseBacking()
+        checkpointer = Checkpointer(backing)
+        matrix = TiledMatrix.from_numpy("W", np.ones((2, 2)), 2, backing)
+        assert checkpointer.latest() is None
+        checkpointer.save("iter-1", {"W": matrix})
+        checkpointer.save("iter-2", {"W": matrix})
+        assert checkpointer.latest() == "iter-2"
+        assert checkpointer.labels() == ["iter-1", "iter-2"]
+
+    def test_restore_missing(self):
+        checkpointer = Checkpointer(DenseBacking())
+        with pytest.raises(ExecutionError):
+            checkpointer.restore("nope")
+
+    def test_validation(self):
+        checkpointer = Checkpointer(DenseBacking())
+        with pytest.raises(ValidationError):
+            checkpointer.save("", {})
+        with pytest.raises(ValidationError):
+            checkpointer.save("x", {})
+
+
+class TestIterativeRunner:
+    def make_runner(self, x, y, checkpointer=None):
+        return IterativeRunner(
+            gd_iteration_factory(),
+            static_inputs={"X": x, "y": y},
+            state_variables=["w"],
+            tile_size=8,
+            checkpointer=checkpointer,
+        )
+
+    def test_matches_reference(self, problem):
+        x, y, w0 = problem
+        runner = self.make_runner(x, y)
+        result = runner.run({"w": w0}, iterations=5)
+        expected = reference_gd(x, y, w0, 5)
+        np.testing.assert_allclose(result.state["w"], expected, rtol=1e-8)
+        assert result.iteration == 5
+
+    def test_crash_and_resume_equals_straight_run(self, problem):
+        x, y, w0 = problem
+        checkpointer = Checkpointer(DenseBacking())
+        runner = self.make_runner(x, y, checkpointer)
+        with pytest.raises(ExecutionError, match="simulated crash"):
+            runner.run({"w": w0}, iterations=6, crash_after=3)
+        assert checkpointer.latest() == "iter-3"
+        resumed = runner.resume(iterations=3)
+        expected = reference_gd(x, y, w0, 6)
+        np.testing.assert_allclose(resumed.state["w"], expected, rtol=1e-8)
+        assert resumed.iteration == 6
+
+    def test_resume_without_checkpointer(self, problem):
+        x, y, w0 = problem
+        runner = self.make_runner(x, y)
+        with pytest.raises(ExecutionError, match="checkpointer"):
+            runner.resume(iterations=1)
+
+    def test_resume_without_checkpoint(self, problem):
+        x, y, __ = problem
+        runner = self.make_runner(x, y, Checkpointer(DenseBacking()))
+        with pytest.raises(ExecutionError, match="no checkpoint"):
+            runner.resume(iterations=1)
+
+    def test_checkpoint_every_iteration(self, problem):
+        x, y, w0 = problem
+        checkpointer = Checkpointer(DenseBacking())
+        runner = self.make_runner(x, y, checkpointer)
+        runner.run({"w": w0}, iterations=4)
+        assert checkpointer.labels() == [f"iter-{i}" for i in range(1, 5)]
+
+    def test_validation(self, problem):
+        x, y, w0 = problem
+        runner = self.make_runner(x, y)
+        with pytest.raises(ValidationError):
+            runner.run({"w": w0}, iterations=0)
+        with pytest.raises(ValidationError):
+            runner.run({}, iterations=2)
+        with pytest.raises(ValidationError):
+            IterativeRunner(gd_iteration_factory(), {}, [], tile_size=8)

@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_workload, main
+from repro.errors import ReproError
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCatalog:
+    def test_lists_all_types(self):
+        code, text = run_cli("catalog")
+        assert code == 0
+        for name in ("m1.small", "c1.xlarge", "m2.4xlarge"):
+            assert name in text
+
+
+class TestExplain:
+    def test_text_output(self):
+        code, text = run_cli("explain", "multiply", "--scale", "small")
+        assert code == 0
+        assert "program" in text
+        assert "maps=" in text
+
+    def test_dot_output(self):
+        code, text = run_cli("explain", "gnmf", "--scale", "small", "--dot")
+        assert code == 0
+        assert text.startswith("digraph")
+
+    def test_unknown_workload_fails_cleanly(self):
+        code, __ = run_cli("explain", "quicksort")
+        assert code == 1
+
+
+class TestSimulate:
+    def test_reports_total(self):
+        code, text = run_cli("simulate", "multiply", "--scale", "small",
+                             "--nodes", "4")
+        assert code == 0
+        assert "total" in text
+
+    def test_instance_selection(self):
+        code, text = run_cli("simulate", "multiply", "--scale", "small",
+                             "--instance", "c1.xlarge", "--nodes", "2",
+                             "--slots", "4")
+        assert code == 0
+        assert "c1.xlarge" in text
+
+
+class TestOptimize:
+    def test_deadline(self):
+        code, text = run_cli("optimize", "multiply", "--scale", "small",
+                             "--deadline", "60")
+        assert code == 0
+        assert "deploy on" in text
+        assert "estimated cost" in text
+
+    def test_budget(self):
+        code, text = run_cli("optimize", "multiply", "--scale", "small",
+                             "--budget", "5")
+        assert code == 0
+        assert "fastest plan" in text
+
+    def test_constraint_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("optimize", "multiply")
+
+
+class TestWorkloadRegistry:
+    @pytest.mark.parametrize("name", ["multiply", "gnmf", "rsvd",
+                                      "regression", "pagerank", "logistic",
+                                      "pca", "kmeans"])
+    def test_all_workloads_build(self, name):
+        program, tile = build_workload(name, "small")
+        assert program.statements
+        assert tile > 0
+
+    def test_unknown_scale(self):
+        with pytest.raises(ReproError):
+            build_workload("multiply", "galactic")
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            build_workload("quicksort", "small")

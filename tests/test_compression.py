@@ -1,0 +1,115 @@
+"""Unit tests for tile compression codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.physical import MatrixInfo
+from repro.errors import ValidationError
+from repro.matrix.compression import (
+    NoCompression,
+    Quantized8Codec,
+    ZlibCodec,
+    available_codecs,
+    compression_report,
+)
+from repro.matrix.tiled import TileGrid, TiledMatrix
+
+RNG = np.random.default_rng(61)
+
+
+def structured_matrix(rows=64, cols=64, tile=16):
+    """Low-entropy data: small integers with repeated runs."""
+    data = np.repeat(np.arange(rows // 4), 4)[:, None] * np.ones((1, cols))
+    return TiledMatrix.from_numpy("S", data, tile)
+
+
+def noise_matrix(rows=64, cols=64, tile=16):
+    return TiledMatrix.from_numpy("N", RNG.standard_normal((rows, cols)),
+                                  tile)
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("name", ["none", "zlib1", "zlib6"])
+    def test_lossless_roundtrip(self, name):
+        codec = available_codecs()[name]
+        payload = RNG.standard_normal((13, 7))
+        blob = codec.compress(payload)
+        np.testing.assert_array_equal(
+            codec.decompress(blob, payload.shape), payload)
+
+    def test_q8_bounded_error(self):
+        codec = Quantized8Codec()
+        payload = RNG.random((16, 16)) * 10.0
+        restored = codec.decompress(codec.compress(payload), payload.shape)
+        value_range = payload.max() - payload.min()
+        assert np.abs(restored - payload).max() <= value_range / 255.0
+
+    def test_q8_constant_tile(self):
+        codec = Quantized8Codec()
+        payload = np.full((4, 4), 3.25)
+        restored = codec.decompress(codec.compress(payload), payload.shape)
+        np.testing.assert_allclose(restored, payload)
+
+    def test_zlib_level_validation(self):
+        with pytest.raises(ValidationError):
+            ZlibCodec(0)
+        with pytest.raises(ValidationError):
+            ZlibCodec(10)
+
+    def test_available_codecs_names(self):
+        assert set(available_codecs()) == {"none", "zlib1", "zlib6", "q8"}
+
+
+class TestReports:
+    def test_structured_data_compresses_well(self):
+        report = compression_report(structured_matrix(), ZlibCodec(6))
+        assert report.ratio < 0.2
+        assert report.max_roundtrip_error == 0.0
+
+    def test_random_doubles_incompressible(self):
+        report = compression_report(noise_matrix(), ZlibCodec(6))
+        assert report.ratio > 0.7
+
+    def test_q8_beats_lossless_on_noise(self):
+        noise = noise_matrix()
+        lossless = compression_report(noise, ZlibCodec(6))
+        lossy = compression_report(noise, Quantized8Codec())
+        assert lossy.ratio < lossless.ratio
+        assert lossy.max_roundtrip_error > 0.0
+
+    def test_none_codec_ratio_one(self):
+        report = compression_report(noise_matrix(), NoCompression())
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_better_level_no_worse(self):
+        matrix = structured_matrix()
+        fast = compression_report(matrix, ZlibCodec(1))
+        thorough = compression_report(matrix, ZlibCodec(6))
+        assert thorough.compressed_bytes <= fast.compressed_bytes
+
+
+class TestBytesScale:
+    def test_scales_tile_bytes(self):
+        grid = TileGrid(64, 64, 16)
+        raw = MatrixInfo("A", grid)
+        half = MatrixInfo("A", grid, bytes_scale=0.5)
+        assert half.tile_bytes(0, 0) == raw.tile_bytes(0, 0) // 2
+        assert half.total_bytes() < raw.total_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MatrixInfo("A", TileGrid(4, 4, 2), bytes_scale=0.0)
+
+
+@given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+       seed=st.integers(0, 2**31),
+       name=st.sampled_from(["none", "zlib1", "zlib6"]))
+@settings(max_examples=40, deadline=None)
+def test_property_lossless_codecs_roundtrip(rows, cols, seed, name):
+    codec = available_codecs()[name]
+    payload = np.random.default_rng(seed).standard_normal((rows, cols))
+    blob = codec.compress(payload)
+    np.testing.assert_array_equal(codec.decompress(blob, payload.shape),
+                                  payload)

@@ -1,0 +1,236 @@
+"""Unit tests for the logical expression language."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import (
+    Binary,
+    ElementFunc,
+    MatMul,
+    ScalarOp,
+    Transpose,
+    Var,
+    estimate_binary_density,
+    estimate_matmul_density,
+    evaluate_with_numpy,
+)
+from repro.errors import ShapeError, ValidationError
+
+
+def var(name="A", rows=4, cols=5, density=1.0):
+    return Var(name, (rows, cols), density)
+
+
+class TestVar:
+    def test_basic(self):
+        v = var()
+        assert v.shape == (4, 5)
+        assert v.describe() == "A"
+
+    def test_invalid_shape(self):
+        with pytest.raises(ShapeError):
+            Var("A", (0, 5))
+
+    def test_invalid_density(self):
+        with pytest.raises(ValidationError):
+            Var("A", (2, 2), density=1.5)
+
+    def test_empty_name(self):
+        with pytest.raises(ValidationError):
+            Var("", (2, 2))
+
+
+class TestOperators:
+    def test_matmul_shape(self):
+        product = var("A", 4, 5) @ var("B", 5, 7)
+        assert isinstance(product, MatMul)
+        assert product.shape == (4, 7)
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ShapeError):
+            var("A", 4, 5) @ var("B", 4, 5)
+
+    def test_add_matrices(self):
+        result = var("A") + var("B", 4, 5)
+        assert isinstance(result, Binary)
+        assert result.op == "add"
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            var("A", 4, 5) + var("B", 5, 4)
+
+    def test_scalar_ops(self):
+        assert isinstance(var() + 2.0, ScalarOp)
+        assert isinstance(var() * 3, ScalarOp)
+        assert isinstance(2.0 * var(), ScalarOp)
+        assert isinstance(2.0 + var(), ScalarOp)
+
+    def test_sub_scalar_becomes_negative_add(self):
+        node = var() - 2.0
+        assert isinstance(node, ScalarOp)
+        assert node.op == "add"
+        assert node.scalar == -2.0
+
+    def test_div_scalar_becomes_mul(self):
+        node = var() / 4.0
+        assert isinstance(node, ScalarOp)
+        assert node.op == "mul"
+        assert node.scalar == pytest.approx(0.25)
+
+    def test_div_by_zero_scalar(self):
+        with pytest.raises(ValidationError):
+            var() / 0
+
+    def test_negation(self):
+        node = -var()
+        assert isinstance(node, ScalarOp)
+        assert node.scalar == -1.0
+
+    def test_transpose_shape(self):
+        t = var("A", 4, 5).T
+        assert isinstance(t, Transpose)
+        assert t.shape == (5, 4)
+
+    def test_apply(self):
+        node = var().apply("exp")
+        assert isinstance(node, ElementFunc)
+        assert node.shape == (4, 5)
+
+    def test_apply_unknown(self):
+        with pytest.raises(ValidationError):
+            var().apply("softmax")
+
+    def test_matmul_with_non_expr(self):
+        with pytest.raises(ValidationError):
+            var() @ 3.0
+
+    def test_nonfinite_scalar_rejected(self):
+        with pytest.raises(ValidationError):
+            var() * float("inf")
+
+
+class TestTraversal:
+    def test_free_variables(self):
+        expr = (var("A", 4, 5) @ var("B", 5, 6)) + var("C", 4, 6)
+        assert expr.free_variables() == {"A", "B", "C"}
+
+    def test_describe(self):
+        expr = (var("A", 4, 5) @ var("B", 5, 6)) * 2.0
+        text = expr.describe()
+        assert "A" in text and "B" in text and "2" in text
+
+
+class TestDensity:
+    def test_matmul_density_dense(self):
+        assert estimate_matmul_density(1.0, 1.0, 100) == 1.0
+
+    def test_matmul_density_zero(self):
+        assert estimate_matmul_density(0.0, 1.0, 100) == 0.0
+
+    def test_matmul_density_grows_with_inner_dim(self):
+        small = estimate_matmul_density(0.01, 0.01, 10)
+        large = estimate_matmul_density(0.01, 0.01, 10000)
+        assert large > small
+
+    def test_binary_density_add_union(self):
+        assert estimate_binary_density("add", 0.5, 0.5) == pytest.approx(0.75)
+
+    def test_binary_density_mul_intersection(self):
+        assert estimate_binary_density("mul", 0.5, 0.5) == pytest.approx(0.25)
+
+    def test_binary_density_div_dense(self):
+        assert estimate_binary_density("div", 0.1, 0.1) == 1.0
+
+    def test_exp_densifies(self):
+        node = Var("A", (3, 3), density=0.1).apply("exp")
+        assert node.density == 1.0
+
+    def test_sqrt_preserves_pattern(self):
+        node = Var("A", (3, 3), density=0.1).apply("sqrt")
+        assert node.density == pytest.approx(0.1)
+
+    def test_scalar_add_densifies(self):
+        node = Var("A", (3, 3), density=0.1) + 1.0
+        assert node.density == 1.0
+
+    def test_scalar_mul_preserves(self):
+        node = Var("A", (3, 3), density=0.1) * 2.0
+        assert node.density == pytest.approx(0.1)
+
+
+class TestNumpyEvaluator:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.env = {
+            "A": rng.random((4, 5)),
+            "B": rng.random((5, 6)),
+            "C": rng.random((4, 6)),
+        }
+
+    def test_full_expression(self):
+        expr = ((var("A", 4, 5) @ var("B", 5, 6)) * 2.0 + var("C", 4, 6)
+                ).apply("sqrt")
+        expected = np.sqrt(self.env["A"] @ self.env["B"] * 2 + self.env["C"])
+        np.testing.assert_allclose(evaluate_with_numpy(expr, self.env), expected)
+
+    def test_transpose(self):
+        expr = var("A", 4, 5).T
+        np.testing.assert_allclose(evaluate_with_numpy(expr, self.env),
+                                   self.env["A"].T)
+
+    def test_unbound_variable(self):
+        with pytest.raises(ValidationError):
+            evaluate_with_numpy(var("Z"), self.env)
+
+    def test_binary_ops(self):
+        a, c = self.env["A"], self.env["C"]
+        env = {"A": a, "C": a + 1.0}
+        for op, expected in (
+            (var("A", 4, 5) + var("C", 4, 5), env["A"] + env["C"]),
+            (var("A", 4, 5) - var("C", 4, 5), env["A"] - env["C"]),
+            (var("A", 4, 5) * var("C", 4, 5), env["A"] * env["C"]),
+            (var("A", 4, 5) / var("C", 4, 5), env["A"] / env["C"]),
+        ):
+            np.testing.assert_allclose(evaluate_with_numpy(op, env), expected)
+
+
+class TestMinMax:
+    def test_minimum_maximum_nodes(self):
+        node = var("A").minimum(var("B", 4, 5))
+        assert isinstance(node, Binary)
+        assert node.op == "min"
+        node = var("A").maximum(var("B", 4, 5))
+        assert node.op == "max"
+
+    def test_describe(self):
+        assert "min(" in var("A").minimum(var("B", 4, 5)).describe()
+
+    def test_numpy_evaluation(self):
+        rng = np.random.default_rng(1)
+        env = {"A": rng.standard_normal((4, 5)),
+               "B": rng.standard_normal((4, 5))}
+        expr = var("A").minimum(var("B", 4, 5))
+        np.testing.assert_allclose(evaluate_with_numpy(expr, env),
+                                   np.minimum(env["A"], env["B"]))
+        expr = var("A").maximum(var("B", 4, 5))
+        np.testing.assert_allclose(evaluate_with_numpy(expr, env),
+                                   np.maximum(env["A"], env["B"]))
+
+    def test_density_union(self):
+        node = Var("A", (4, 4), density=0.3).maximum(
+            Var("B", (4, 4), density=0.2))
+        assert node.density == pytest.approx(0.3 + 0.2 - 0.06)
+
+    def test_compiled_execution_clipping(self):
+        from repro.core.executor import run_program
+        from repro.core.expr import Constant
+        from repro.core.program import Program
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((12, 10))
+        program = Program("relu")
+        x = program.declare_input("X", 12, 10)
+        program.assign("Y", x.maximum(Constant(0.0, (1, 1))))
+        program.mark_output("Y")
+        result = run_program(program, {"X": data}, tile_size=4)
+        np.testing.assert_allclose(result.output("Y"),
+                                   np.maximum(data, 0.0))

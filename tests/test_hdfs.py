@@ -1,0 +1,236 @@
+"""Unit tests for the simulated HDFS: blocks, datanodes, placement, namenode."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsInHDFSError,
+    FileNotFoundInHDFSError,
+    ReplicationError,
+    StorageError,
+    ValidationError,
+)
+from repro.hdfs.blocks import BlockId, BlockInfo, split_into_block_sizes
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.placement import DefaultPlacement
+
+
+def make_namenode(nodes: int = 4, replication: int = 3,
+                  capacity: int = 10**9, block_size: int = 64 * 2**20):
+    namenode = NameNode(block_size=block_size, replication=replication)
+    for index in range(nodes):
+        namenode.register_datanode(DataNode(f"node-{index}", capacity))
+    return namenode
+
+
+class TestBlocks:
+    def test_split_exact(self):
+        assert split_into_block_sizes(128, 64) == [64, 64]
+
+    def test_split_remainder(self):
+        assert split_into_block_sizes(130, 64) == [64, 64, 2]
+
+    def test_split_small_file(self):
+        assert split_into_block_sizes(10, 64) == [10]
+
+    def test_split_empty_file(self):
+        assert split_into_block_sizes(0, 64) == [0]
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            split_into_block_sizes(-1, 64)
+
+    def test_block_id_validation(self):
+        with pytest.raises(ValidationError):
+            BlockId(-1)
+
+    def test_block_info_replication_count(self):
+        info = BlockInfo(BlockId(0), 100, replicas={"a", "b"})
+        assert info.replication == 2
+
+
+class TestDataNode:
+    def test_store_and_capacity(self):
+        node = DataNode("n", 1000)
+        node.store(BlockId(0), 400)
+        assert node.used_bytes == 400
+        assert node.free_bytes == 600
+
+    def test_store_over_capacity_rejected(self):
+        node = DataNode("n", 100)
+        with pytest.raises(StorageError):
+            node.store(BlockId(0), 200)
+
+    def test_duplicate_store_rejected(self):
+        node = DataNode("n", 1000)
+        node.store(BlockId(0), 10)
+        with pytest.raises(StorageError):
+            node.store(BlockId(0), 10)
+
+    def test_evict_frees_space(self):
+        node = DataNode("n", 1000)
+        node.store(BlockId(0), 400)
+        node.evict(BlockId(0))
+        assert node.used_bytes == 0
+        assert not node.holds(BlockId(0))
+
+    def test_evict_missing_rejected(self):
+        node = DataNode("n", 1000)
+        with pytest.raises(StorageError):
+            node.evict(BlockId(7))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DataNode("", 100)
+        with pytest.raises(ValidationError):
+            DataNode("n", 0)
+
+
+class TestPlacement:
+    def test_writer_local_first_replica(self):
+        nodes = [DataNode(f"n{i}", 1000) for i in range(4)]
+        chosen = DefaultPlacement().choose(nodes, 100, 3, writer="n2")
+        assert chosen[0].name == "n2"
+        assert len(chosen) == 3
+
+    def test_distinct_nodes(self):
+        nodes = [DataNode(f"n{i}", 1000) for i in range(4)]
+        chosen = DefaultPlacement().choose(nodes, 100, 3)
+        assert len({node.name for node in chosen}) == 3
+
+    def test_prefers_least_loaded(self):
+        nodes = [DataNode(f"n{i}", 1000) for i in range(3)]
+        nodes[0].store(BlockId(99), 500)
+        chosen = DefaultPlacement().choose(nodes, 100, 1)
+        assert chosen[0].name in ("n1", "n2")
+
+    def test_replication_capped_by_capacity(self):
+        nodes = [DataNode("n0", 1000), DataNode("n1", 50)]
+        chosen = DefaultPlacement().choose(nodes, 100, 3)
+        assert [node.name for node in chosen] == ["n0"]
+
+    def test_no_space_anywhere(self):
+        nodes = [DataNode("n0", 10)]
+        with pytest.raises(ReplicationError):
+            DefaultPlacement().choose(nodes, 100, 1)
+
+    def test_seeded_placement_is_deterministic(self):
+        def run(seed):
+            nodes = [DataNode(f"n{i}", 1000) for i in range(5)]
+            policy = DefaultPlacement(seed=seed)
+            return [n.name for n in policy.choose(nodes, 10, 3)]
+        assert run(1) == run(1)
+
+
+class TestNameNode:
+    def test_create_and_read_payload(self):
+        namenode = make_namenode()
+        namenode.create("/a", 100, payload={"hello": 1})
+        assert namenode.read("/a") == {"hello": 1}
+
+    def test_create_duplicate_rejected(self):
+        namenode = make_namenode()
+        namenode.create("/a", 100)
+        with pytest.raises(FileExistsInHDFSError):
+            namenode.create("/a", 100)
+
+    def test_create_without_datanodes_rejected(self):
+        namenode = NameNode()
+        with pytest.raises(ReplicationError):
+            namenode.create("/a", 100)
+
+    def test_empty_path_rejected(self):
+        namenode = make_namenode()
+        with pytest.raises(ValidationError):
+            namenode.create("", 100)
+
+    def test_read_missing_raises(self):
+        namenode = make_namenode()
+        with pytest.raises(FileNotFoundInHDFSError):
+            namenode.read("/missing")
+
+    def test_file_size(self):
+        namenode = make_namenode()
+        namenode.create("/a", 12345)
+        assert namenode.file_size("/a") == 12345
+
+    def test_multi_block_file(self):
+        namenode = make_namenode(block_size=100)
+        entry = namenode.create("/big", 250)
+        assert entry.num_blocks == 3
+        assert namenode.file_size("/big") == 250
+
+    def test_replication_factor(self):
+        namenode = make_namenode(nodes=5, replication=3)
+        namenode.create("/a", 100)
+        for info in namenode.block_infos("/a"):
+            assert info.replication == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        namenode = make_namenode(nodes=2, replication=3)
+        namenode.create("/a", 100)
+        for info in namenode.block_infos("/a"):
+            assert info.replication == 2
+
+    def test_replicas_on_distinct_nodes(self):
+        namenode = make_namenode(nodes=5)
+        namenode.create("/a", 100)
+        for info in namenode.block_infos("/a"):
+            assert len(info.replicas) == len(set(info.replicas))
+
+    def test_delete_releases_capacity(self):
+        namenode = make_namenode()
+        namenode.create("/a", 1000)
+        assert namenode.total_used_bytes() == 3000
+        namenode.delete("/a")
+        assert namenode.total_used_bytes() == 0
+        assert not namenode.exists("/a")
+
+    def test_delete_missing_raises(self):
+        namenode = make_namenode()
+        with pytest.raises(FileNotFoundInHDFSError):
+            namenode.delete("/missing")
+
+    def test_list_files_prefix(self):
+        namenode = make_namenode()
+        namenode.create("/m/A/t0", 10)
+        namenode.create("/m/A/t1", 10)
+        namenode.create("/m/B/t0", 10)
+        assert namenode.list_files("/m/A/") == ["/m/A/t0", "/m/A/t1"]
+
+    def test_replica_nodes_and_locality(self):
+        namenode = make_namenode(nodes=4, replication=2)
+        namenode.create("/a", 100, writer="node-1")
+        nodes = namenode.replica_nodes("/a")
+        assert "node-1" in nodes
+        assert namenode.is_local("/a", "node-1")
+
+    def test_writer_locality_respected(self):
+        namenode = make_namenode(nodes=4)
+        namenode.create("/a", 50, writer="node-3")
+        assert "node-3" in namenode.replica_nodes("/a")
+
+    def test_decommission_rereplicates(self):
+        namenode = make_namenode(nodes=4, replication=2)
+        namenode.create("/a", 100, writer="node-0")
+        namenode.decommission("node-0")
+        infos = namenode.block_infos("/a")
+        for info in infos:
+            assert info.replication == 2
+            assert "node-0" not in info.replicas
+
+    def test_decommission_unknown_node(self):
+        namenode = make_namenode()
+        with pytest.raises(ValidationError):
+            namenode.decommission("nope")
+
+    def test_duplicate_datanode_rejected(self):
+        namenode = make_namenode()
+        with pytest.raises(ValidationError):
+            namenode.register_datanode(DataNode("node-0", 100))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            NameNode(block_size=0)
+        with pytest.raises(ValidationError):
+            NameNode(replication=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the local (real-execution) engine."""
+
+import threading
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.hadoop.job import Job, JobDag, JobKind
+from repro.hadoop.local import LocalExecutor
+from repro.hadoop.task import TaskWork, make_map_task, make_reduce_task
+
+
+def counting_task(task_id, counter, lock):
+    def run():
+        with lock:
+            counter.append(task_id)
+
+    return make_map_task(task_id, TaskWork(), run=run)
+
+
+class TestLocalExecutor:
+    def test_runs_all_tasks(self):
+        counter, lock = [], threading.Lock()
+        tasks = [counting_task(f"t{i}", counter, lock) for i in range(10)]
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, tasks)])
+        report = LocalExecutor(max_workers=4).run(dag)
+        assert sorted(counter) == sorted(f"t{i}" for i in range(10))
+        assert report.total_seconds > 0
+
+    def test_single_worker_sequential(self):
+        counter, lock = [], threading.Lock()
+        tasks = [counting_task(f"t{i}", counter, lock) for i in range(5)]
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, tasks)])
+        LocalExecutor(max_workers=1).run(dag)
+        assert counter == [f"t{i}" for i in range(5)]
+
+    def test_dependency_order(self):
+        order, lock = [], threading.Lock()
+        dag = JobDag([
+            Job("a", JobKind.MAP_ONLY, [counting_task("a-t", order, lock)]),
+            Job("b", JobKind.MAP_ONLY, [counting_task("b-t", order, lock)],
+                depends_on={"a"}),
+        ])
+        LocalExecutor(max_workers=4).run(dag)
+        assert order == ["a-t", "b-t"]
+
+    def test_reduce_phase_after_map_phase(self):
+        order, lock = [], threading.Lock()
+
+        def tracked(task_id, factory):
+            def run():
+                with lock:
+                    order.append(task_id)
+            return factory(task_id, TaskWork(), run=run)
+
+        job = Job("mr", JobKind.MAPREDUCE,
+                  [tracked(f"m{i}", make_map_task) for i in range(4)],
+                  [tracked("r0", make_reduce_task)])
+        LocalExecutor(max_workers=4).run(JobDag([job]))
+        assert order[-1] == "r0"
+
+    def test_task_failure_wrapped(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        task = make_map_task("bad", TaskWork(), run=boom)
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, [task])])
+        with pytest.raises(ExecutionError, match="bad"):
+            LocalExecutor(max_workers=2).run(dag)
+
+    def test_tasks_without_run_are_skipped(self):
+        dag = JobDag([Job("j", JobKind.MAP_ONLY,
+                          [make_map_task("t", TaskWork())])])
+        report = LocalExecutor().run(dag)
+        assert report.job_reports[0].num_tasks == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ExecutionError):
+            LocalExecutor(max_workers=0)
+
+    def test_report_per_job(self):
+        dag = JobDag([
+            Job("a", JobKind.MAP_ONLY, []),
+            Job("b", JobKind.MAP_ONLY, [], depends_on={"a"}),
+        ])
+        report = LocalExecutor().run(dag)
+        assert [r.job_id for r in report.job_reports] == ["a", "b"]

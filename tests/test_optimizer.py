@@ -1,0 +1,135 @@
+"""Unit tests for the deployment optimizer."""
+
+import pytest
+
+from repro.cloud import ClusterSpec, HourlyBilling, PerSecondBilling, get_instance_type
+from repro.core.optimizer import DeploymentOptimizer, SearchSpace
+from repro.core.physical import MatMulParams
+from repro.errors import InfeasibleConstraintError, ValidationError
+from repro.workloads import build_multiply_program
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    program = build_multiply_program(8192, 8192, 8192)
+    return DeploymentOptimizer(program, tile_size=1024)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(
+        instance_types=(get_instance_type("m1.large"),
+                        get_instance_type("c1.xlarge")),
+        node_counts=(1, 2, 4, 8),
+        slots_options=(1, 2, 4, 8),
+        matmul_options=(MatMulParams(1, 1, 1), MatMulParams(2, 2, 1)),
+    )
+
+
+class TestEnumeration:
+    def test_grid_size(self, optimizer, space):
+        plans = optimizer.enumerate_plans(space)
+        # m1.large admits slots {1,2,4}, c1.xlarge {1,2,4,8}: (3+4)*4 specs.
+        assert len(plans) == 28
+
+    def test_all_plans_have_positive_estimates(self, optimizer, space):
+        for plan in optimizer.enumerate_plans(space):
+            assert plan.estimated_seconds > 0
+            assert plan.estimated_cost > 0
+
+    def test_startup_included(self, space):
+        from repro.core.compiler import CompilerParams
+        program = build_multiply_program(2048, 2048, 2048)
+        fast = DeploymentOptimizer(program, 1024, startup_seconds=0.0)
+        slow = DeploymentOptimizer(program, 1024, startup_seconds=300.0)
+        spec = ClusterSpec(get_instance_type("m1.large"), 2, 2)
+        t_fast = fast.evaluate(spec, CompilerParams())
+        t_slow = slow.evaluate(spec, CompilerParams())
+        assert t_slow.estimated_seconds \
+            == pytest.approx(t_fast.estimated_seconds + 300.0)
+
+
+class TestSkylineAndSolvers:
+    def test_skyline_undominated(self, optimizer, space):
+        frontier = optimizer.skyline(space)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_deadline_solver_feasible(self, optimizer, space):
+        plan = optimizer.minimize_cost_under_deadline(3600.0, space)
+        assert plan.estimated_seconds <= 3600.0
+
+    def test_tighter_deadline_never_cheaper(self, optimizer, space):
+        loose = optimizer.minimize_cost_under_deadline(3600.0, space)
+        tight = optimizer.minimize_cost_under_deadline(200.0, space)
+        assert tight.estimated_cost >= loose.estimated_cost
+        assert tight.estimated_seconds <= 200.0
+
+    def test_impossible_deadline(self, optimizer, space):
+        with pytest.raises(InfeasibleConstraintError):
+            optimizer.minimize_cost_under_deadline(1.0, space)
+
+    def test_budget_solver(self, optimizer, space):
+        plan = optimizer.minimize_time_under_budget(5.0, space)
+        assert plan.estimated_cost <= 5.0
+
+    def test_bigger_budget_never_slower(self, optimizer, space):
+        small = optimizer.minimize_time_under_budget(1.0, space)
+        large = optimizer.minimize_time_under_budget(20.0, space)
+        assert large.estimated_seconds <= small.estimated_seconds
+
+    def test_impossible_budget(self, optimizer, space):
+        with pytest.raises(InfeasibleConstraintError):
+            optimizer.minimize_time_under_budget(0.001, space)
+
+    def test_invalid_constraints(self, optimizer, space):
+        with pytest.raises(ValidationError):
+            optimizer.minimize_cost_under_deadline(-5.0, space)
+        with pytest.raises(ValidationError):
+            optimizer.minimize_time_under_budget(0.0, space)
+
+
+class TestJointOptimization:
+    def test_physical_params_tuned_per_spec(self, optimizer, space):
+        """The chosen split factors may differ across cluster shapes —
+        the 'joint' part of the paper's optimization."""
+        plans = optimizer.enumerate_plans(space)
+        chosen = {plan.compiler_params.matmul for plan in plans}
+        # At minimum the tuner must actually explore (not constant-fold).
+        assert chosen <= set(space.matmul_options)
+
+    def test_billing_model_changes_choice_shape(self, space):
+        program = build_multiply_program(8192, 8192, 8192)
+        hourly = DeploymentOptimizer(program, 1024, billing=HourlyBilling())
+        exact = DeploymentOptimizer(program, 1024,
+                                    billing=PerSecondBilling(0.0))
+        hourly_costs = [p.estimated_cost for p in hourly.enumerate_plans(space)]
+        exact_costs = [p.estimated_cost for p in exact.enumerate_plans(space)]
+        assert all(h >= e for h, e in zip(hourly_costs, exact_costs))
+
+
+class TestHillClimbing:
+    def test_finds_feasible_plan(self, optimizer, space):
+        plan = optimizer.hill_climb_under_deadline(3600.0, space)
+        assert plan.estimated_seconds <= 3600.0
+
+    def test_close_to_grid_optimum(self, optimizer, space):
+        grid_best = optimizer.minimize_cost_under_deadline(3600.0, space)
+        climbed = optimizer.hill_climb_under_deadline(3600.0, space)
+        assert climbed.estimated_cost <= 3.0 * grid_best.estimated_cost
+
+    def test_infeasible_deadline_raises(self, optimizer, space):
+        with pytest.raises(InfeasibleConstraintError):
+            optimizer.hill_climb_under_deadline(1.0, space)
+
+
+class TestCompilationCache:
+    def test_compile_cached_per_params(self, optimizer):
+        from repro.core.compiler import CompilerParams
+        params = CompilerParams()
+        first = optimizer.compile_with(params)
+        second = optimizer.compile_with(params)
+        assert first is second

@@ -1,0 +1,107 @@
+"""Unit tests for program construction."""
+
+import pytest
+
+from repro.core.program import Program, Statement
+from repro.errors import ValidationError
+
+
+class TestProgram:
+    def test_declare_and_assign(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 5)
+        b = program.declare_input("B", 5, 6)
+        c = program.assign("C", a @ b)
+        assert c.shape == (4, 6)
+        assert len(program.statements) == 1
+
+    def test_duplicate_input_rejected(self):
+        program = Program("p")
+        program.declare_input("A", 4, 5)
+        with pytest.raises(ValidationError):
+            program.declare_input("A", 4, 5)
+
+    def test_unbound_reference_rejected(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        other = Program("q").declare_input("Z", 4, 4)
+        with pytest.raises(ValidationError):
+            program.assign("C", a @ other)
+
+    def test_assign_returns_var_for_chaining(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        c = program.assign("C", a @ a)
+        d = program.assign("D", c @ c)
+        assert d.shape == (4, 4)
+        assert len(program.statements) == 2
+
+    def test_rebinding_allowed(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        x = program.assign("X", a @ a)
+        program.assign("X", x * 2.0)
+        assert len(program.statements) == 2
+
+    def test_loop_unrolls(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        state = {"x": a}
+
+        def body(i):
+            state["x"] = program.assign("x", state["x"] @ a)
+
+        program.loop(3, body)
+        assert len(program.statements) == 3
+
+    def test_zero_loop(self):
+        program = Program("p")
+        program.declare_input("A", 4, 4)
+        program.loop(0, lambda i: pytest.fail("body must not run"))
+
+    def test_negative_loop_rejected(self):
+        program = Program("p")
+        with pytest.raises(ValidationError):
+            program.loop(-1, lambda i: None)
+
+    def test_mark_output(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        program.assign("C", a @ a)
+        program.mark_output("C")
+        assert program.outputs == ["C"]
+
+    def test_mark_output_unbound_rejected(self):
+        program = Program("p")
+        with pytest.raises(ValidationError):
+            program.mark_output("Z")
+
+    def test_mark_output_idempotent(self):
+        program = Program("p")
+        a = program.declare_input("A", 4, 4)
+        program.assign("C", a @ a)
+        program.mark_output("C")
+        program.mark_output("C")
+        assert program.outputs == ["C"]
+
+    def test_input_can_be_output(self):
+        program = Program("p")
+        program.declare_input("A", 4, 4)
+        program.mark_output("A")
+        assert program.outputs == ["A"]
+
+    def test_describe(self):
+        program = Program("demo")
+        a = program.declare_input("A", 4, 4)
+        program.assign("C", a @ a)
+        program.mark_output("C")
+        text = program.describe()
+        assert "demo" in text
+        assert "C = " in text
+        assert "output C" in text
+
+    def test_statement_validation(self):
+        program = Program("p")
+        a = program.declare_input("A", 2, 2)
+        with pytest.raises(ValidationError):
+            Statement("", a)

@@ -1,0 +1,85 @@
+"""Property-based tests: random expression trees survive normalization
+and compile/execute to the same numbers as the numpy interpreter."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import normalize_transposes
+from repro.core.expr import Expr, Transpose, Var, evaluate_with_numpy
+from repro.core.executor import run_program
+from repro.core.program import Program
+
+N = 6  # all matrices square NxN so every combination is shape-legal
+
+
+@st.composite
+def square_expr(draw, depth=0) -> Expr:
+    """A random expression over square NxN variables A and B."""
+    if depth >= 4 or draw(st.booleans()) and depth > 1:
+        name = draw(st.sampled_from(["A", "B"]))
+        return Var(name, (N, N))
+    choice = draw(st.sampled_from(
+        ["matmul", "add", "sub", "mul", "scalar", "transpose", "func"]))
+    if choice == "matmul":
+        return (draw(square_expr(depth + 1))
+                @ draw(square_expr(depth + 1)))
+    if choice in ("add", "sub", "mul"):
+        left = draw(square_expr(depth + 1))
+        right = draw(square_expr(depth + 1))
+        return {"add": left + right, "sub": left - right,
+                "mul": left * right}[choice]
+    if choice == "scalar":
+        scalar = draw(st.sampled_from([0.5, 2.0, -1.0, 3.0]))
+        child = draw(square_expr(depth + 1))
+        return child * scalar if draw(st.booleans()) else child + scalar
+    if choice == "transpose":
+        return draw(square_expr(depth + 1)).T
+    return draw(square_expr(depth + 1)).apply(
+        draw(st.sampled_from(["abs", "square"])))
+
+
+def env(seed):
+    rng = np.random.default_rng(seed)
+    return {"A": rng.standard_normal((N, N)),
+            "B": rng.standard_normal((N, N))}
+
+
+@given(expr=square_expr(), seed=st.integers(0, 2**31))
+@settings(max_examples=80, deadline=None)
+def test_normalization_preserves_semantics(expr, seed):
+    environment = env(seed)
+    normalized = normalize_transposes(expr)
+    np.testing.assert_allclose(
+        evaluate_with_numpy(normalized, environment),
+        evaluate_with_numpy(expr, environment),
+        atol=1e-8,
+    )
+
+
+@given(expr=square_expr(), seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_normalization_pushes_transposes_to_leaves(expr, seed):
+    normalized = normalize_transposes(expr)
+    stack = [normalized]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Transpose):
+            assert isinstance(node.child, Var)
+        stack.extend(node.children())
+
+
+@given(expr=square_expr(), seed=st.integers(0, 2**31),
+       tile=st.sampled_from([2, 3, 6]))
+@settings(max_examples=40, deadline=None)
+def test_compiled_execution_matches_interpreter(expr, seed, tile):
+    environment = env(seed)
+    program = Program("prop")
+    program.declare_input("A", N, N)
+    program.declare_input("B", N, N)
+    program.assign("OUT", expr)
+    program.mark_output("OUT")
+    result = run_program(program, environment, tile_size=tile, max_workers=1)
+    expected = evaluate_with_numpy(expr, environment)
+    np.testing.assert_allclose(result.output("OUT"), expected,
+                               atol=1e-7, rtol=1e-7)

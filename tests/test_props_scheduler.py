@@ -1,0 +1,123 @@
+"""Property-based tests: scheduler invariants for arbitrary workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.hadoop.job import Job, JobDag, JobKind
+from repro.hadoop.simulator import ClusterSimulator
+from repro.hadoop.task import TaskWork, make_map_task
+from repro.hadoop.timemodel import TaskTimeModel
+
+
+class VariableTimeModel(TaskTimeModel):
+    """Deterministic per-task durations derived from the task id."""
+
+    def __init__(self, durations):
+        self.durations = durations
+
+    def task_duration(self, task, instance, concurrency, local):
+        return self.durations[task.task_id]
+
+    def job_overhead(self, job):
+        return 0.0
+
+
+def build_dag(durations_per_job):
+    dag = JobDag()
+    previous = None
+    durations = {}
+    for job_index, task_durations in enumerate(durations_per_job):
+        tasks = []
+        for task_index, duration in enumerate(task_durations):
+            task_id = f"j{job_index}t{task_index}"
+            durations[task_id] = duration
+            tasks.append(make_map_task(task_id, TaskWork()))
+        deps = {f"job{previous}"} if previous is not None else set()
+        dag.add(Job(f"job{job_index}", JobKind.MAP_ONLY, tasks,
+                    depends_on=deps))
+        previous = job_index
+    return dag, durations
+
+
+DURATIONS = st.lists(
+    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+             max_size=12),
+    min_size=1, max_size=4,
+)
+
+
+@given(durations_per_job=DURATIONS, nodes=st.integers(1, 4),
+       slots=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_all_tasks_run_exactly_once(durations_per_job, nodes, slots):
+    dag, durations = build_dag(durations_per_job)
+    spec = ClusterSpec(get_instance_type("m1.large"), nodes, min(slots, 4))
+    result = ClusterSimulator(spec, VariableTimeModel(durations)).run(dag)
+    ran = [attempt.task.task_id
+           for timeline in result.job_timelines.values()
+           for attempt in timeline.attempts]
+    assert sorted(ran) == sorted(durations)
+
+
+@given(durations_per_job=DURATIONS, nodes=st.integers(1, 3),
+       slots=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_no_slot_oversubscription(durations_per_job, nodes, slots):
+    dag, durations = build_dag(durations_per_job)
+    slots = min(slots, 4)
+    spec = ClusterSpec(get_instance_type("m1.large"), nodes, slots)
+    result = ClusterSimulator(spec, VariableTimeModel(durations)).run(dag)
+    events = []
+    for timeline in result.job_timelines.values():
+        for attempt in timeline.attempts:
+            events.append((attempt.start, 1, attempt.node))
+            events.append((attempt.end, -1, attempt.node))
+    # Process departures before arrivals at equal timestamps.
+    events.sort(key=lambda event: (event[0], event[1]))
+    load = {}
+    for __, delta, node in events:
+        load[node] = load.get(node, 0) + delta
+        assert 0 <= load[node] <= slots
+
+
+@given(durations_per_job=DURATIONS)
+@settings(max_examples=40, deadline=None)
+def test_makespan_not_worse_with_more_slots(durations_per_job):
+    dag1, durations = build_dag(durations_per_job)
+    dag2, __ = build_dag(durations_per_job)
+    model = VariableTimeModel(durations)
+    small = ClusterSimulator(
+        ClusterSpec(get_instance_type("m1.large"), 1, 1), model).run(dag1)
+    large = ClusterSimulator(
+        ClusterSpec(get_instance_type("m1.large"), 4, 4), model).run(dag2)
+    assert large.makespan <= small.makespan + 1e-9
+
+
+@given(durations_per_job=DURATIONS, nodes=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_makespan_bounds(durations_per_job, nodes):
+    """Makespan is at least the critical path's serial work / slots, and at
+    most the total serial work (for any schedule without idling bugs)."""
+    dag, durations = build_dag(durations_per_job)
+    spec = ClusterSpec(get_instance_type("m1.large"), nodes, 2)
+    result = ClusterSimulator(spec, VariableTimeModel(durations)).run(dag)
+    total_work = sum(durations.values())
+    longest_task = max(durations.values())
+    assert result.makespan >= longest_task - 1e-9
+    assert result.makespan >= total_work / spec.total_slots - 1e-9
+    assert result.makespan <= total_work + 1e-6
+
+
+@given(durations_per_job=DURATIONS, nodes=st.integers(1, 3),
+       slots=st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic(durations_per_job, nodes, slots):
+    results = []
+    for __ in range(2):
+        dag, durations = build_dag(durations_per_job)
+        spec = ClusterSpec(get_instance_type("m1.large"), nodes, slots)
+        result = ClusterSimulator(spec, VariableTimeModel(durations)).run(dag)
+        results.append(result.makespan)
+    assert results[0] == pytest.approx(results[1], abs=0)

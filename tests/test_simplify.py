@@ -1,0 +1,102 @@
+"""Unit and property tests for the algebraic simplification pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import CompilerParams, compile_program
+from repro.core.executor import run_program
+from repro.core.expr import ScalarOp, Var, evaluate_with_numpy
+from repro.core.physical import PhysicalContext
+from repro.core.program import Program
+from repro.core.rewrite import simplify
+
+RNG = np.random.default_rng(101)
+
+
+def var(rows=6, cols=6):
+    return Var("A", (rows, cols))
+
+
+class TestSimplify:
+    def test_times_one_vanishes(self):
+        assert simplify(var() * 1.0) is not None
+        assert isinstance(simplify(var() * 1.0), Var)
+
+    def test_plus_zero_vanishes(self):
+        assert isinstance(simplify(var() + 0.0), Var)
+
+    def test_scalar_mul_chain_folds(self):
+        node = simplify((var() * 2.0) * 3.0)
+        assert isinstance(node, ScalarOp)
+        assert node.scalar == pytest.approx(6.0)
+        assert isinstance(node.child, Var)
+
+    def test_scalar_add_chain_folds(self):
+        node = simplify((var() + 2.0) + 3.0)
+        assert isinstance(node, ScalarOp)
+        assert node.scalar == pytest.approx(5.0)
+
+    def test_mixed_chain_partial_fold(self):
+        # (A*2 + 1) * 1 -> A*2 + 1 (inner mixed ops preserved).
+        node = simplify(((var() * 2.0) + 1.0) * 1.0)
+        assert isinstance(node, ScalarOp)
+        assert node.op == "add"
+
+    def test_fold_then_identity(self):
+        # (A*2)*0.5 -> A*1 -> A.
+        node = simplify((var() * 2.0) * 0.5)
+        assert isinstance(node, Var)
+
+    def test_nested_in_matmul(self):
+        expr = (var() * 1.0) @ (var() + 0.0)
+        node = simplify(expr)
+        assert isinstance(node.left, Var)
+        assert isinstance(node.right, Var)
+
+    def test_untouched_expression(self):
+        expr = var() @ var()
+        node = simplify(expr)
+        assert node.shape == expr.shape
+
+    def test_compiler_drops_identity_job(self):
+        # X = A * 1.0 compiles to zero jobs (pure alias) with simplify on.
+        program = Program("id")
+        a = program.declare_input("A", 8, 8)
+        program.assign("X", a * 1.0)
+        compiled = compile_program(program, PhysicalContext(4))
+        assert len(list(compiled.dag)) == 0
+        off = Program("id")
+        a = off.declare_input("A", 8, 8)
+        off.assign("X", a * 1.0)
+        compiled_off = compile_program(
+            off, PhysicalContext(4),
+            CompilerParams(simplify_enabled=False))
+        assert len(list(compiled_off.dag)) == 1
+
+    def test_execution_correct_with_simplification(self):
+        data = RNG.random((12, 12))
+        program = Program("s")
+        a = program.declare_input("A", 12, 12)
+        program.assign("X", ((a * 2.0) * 3.0 + 0.0) * 1.0)
+        program.mark_output("X")
+        result = run_program(program, {"A": data}, tile_size=4)
+        np.testing.assert_allclose(result.output("X"), data * 6.0)
+
+
+@given(scalars=st.lists(st.sampled_from([0.0, 0.5, 1.0, 2.0, -1.0]),
+                        min_size=1, max_size=5),
+       ops=st.lists(st.sampled_from(["add", "mul"]), min_size=1, max_size=5),
+       seed=st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_property_simplify_preserves_semantics(scalars, ops, seed):
+    expr = Var("A", (5, 5))
+    for scalar, op in zip(scalars, ops):
+        expr = expr + scalar if op == "add" else expr * scalar
+    env = {"A": np.random.default_rng(seed).standard_normal((5, 5))}
+    np.testing.assert_allclose(
+        evaluate_with_numpy(simplify(expr), env),
+        evaluate_with_numpy(expr, env),
+        atol=1e-10,
+    )

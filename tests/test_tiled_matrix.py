@@ -1,0 +1,169 @@
+"""Unit tests for tile grids and tiled matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.matrix.tiled import (
+    DenseBacking,
+    TileGrid,
+    TiledMatrix,
+    assert_same_grid,
+    multiply_grid,
+)
+
+
+class TestTileGrid:
+    def test_exact_division(self):
+        grid = TileGrid(100, 60, 20)
+        assert grid.tile_rows == 5
+        assert grid.tile_cols == 3
+        assert grid.num_tiles == 15
+
+    def test_ragged_edges(self):
+        grid = TileGrid(105, 61, 20)
+        assert grid.tile_rows == 6
+        assert grid.tile_cols == 4
+        assert grid.tile_shape(5, 3) == (5, 1)
+
+    def test_full_tile_shape(self):
+        grid = TileGrid(105, 61, 20)
+        assert grid.tile_shape(0, 0) == (20, 20)
+
+    def test_tile_larger_than_matrix(self):
+        grid = TileGrid(5, 7, 100)
+        assert grid.num_tiles == 1
+        assert grid.tile_shape(0, 0) == (5, 7)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValidationError):
+            TileGrid(0, 10, 5)
+        with pytest.raises(ValidationError):
+            TileGrid(10, -1, 5)
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValidationError):
+            TileGrid(10, 10, 0)
+
+    def test_position_bounds_checked(self):
+        grid = TileGrid(40, 40, 20)
+        with pytest.raises(ValidationError):
+            grid.tile_shape(2, 0)
+        with pytest.raises(ValidationError):
+            grid.slice_for(0, 5)
+
+    def test_positions_cover_grid(self):
+        grid = TileGrid(50, 30, 20)
+        positions = list(grid.positions())
+        assert len(positions) == grid.num_tiles
+        assert len(set(positions)) == grid.num_tiles
+
+    def test_slices_partition_matrix(self):
+        grid = TileGrid(45, 33, 16)
+        covered = np.zeros((45, 33), dtype=int)
+        for row, col in grid.positions():
+            rows, cols = grid.slice_for(row, col)
+            covered[rows, cols] += 1
+        assert (covered == 1).all()
+
+
+class TestTiledMatrix:
+    def test_roundtrip(self):
+        data = np.arange(35.0).reshape(5, 7)
+        matrix = TiledMatrix.from_numpy("A", data, tile_size=3)
+        np.testing.assert_array_equal(matrix.to_numpy(), data)
+
+    def test_roundtrip_single_tile(self):
+        data = np.eye(4)
+        matrix = TiledMatrix.from_numpy("A", data, tile_size=100)
+        np.testing.assert_array_equal(matrix.to_numpy(), data)
+
+    def test_name_required(self):
+        with pytest.raises(ValidationError):
+            TiledMatrix("", TileGrid(4, 4, 2))
+
+    def test_zeros_and_identity(self):
+        zeros = TiledMatrix.zeros("Z", 6, 4, tile_size=3)
+        assert not zeros.to_numpy().any()
+        eye = TiledMatrix.identity("I", 5, tile_size=2)
+        np.testing.assert_array_equal(eye.to_numpy(), np.eye(5))
+
+    def test_put_tile_wrong_shape_rejected(self):
+        matrix = TiledMatrix.zeros("A", 6, 6, tile_size=3)
+        with pytest.raises(ShapeError):
+            matrix.put_tile(0, 0, np.zeros((2, 2)))
+
+    def test_get_missing_tile_raises(self):
+        matrix = TiledMatrix("A", TileGrid(4, 4, 2), DenseBacking())
+        with pytest.raises(ShapeError):
+            matrix.get_tile(0, 0)
+
+    def test_tiles_iteration_order(self):
+        matrix = TiledMatrix.from_numpy("A", np.arange(16.0).reshape(4, 4), 2)
+        ids = [tile.tile_id for tile in matrix.tiles()]
+        assert [(t.row, t.col) for t in ids] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_nbytes_positive(self):
+        matrix = TiledMatrix.from_numpy("A", np.ones((10, 10)), 4)
+        assert matrix.nbytes() >= 800
+
+    def test_density(self):
+        data = np.zeros((10, 10))
+        data[0, :5] = 1.0
+        matrix = TiledMatrix.from_numpy("A", data, 5)
+        assert matrix.density() == pytest.approx(0.05)
+
+    def test_density_empty_matrix_is_zero_free(self):
+        matrix = TiledMatrix.from_numpy("A", np.zeros((4, 4)), 2)
+        assert matrix.density() == 0.0
+
+    def test_sparse_tiles_compact_automatically(self):
+        data = np.zeros((100, 100))
+        data[0, 0] = 1.0
+        matrix = TiledMatrix.from_numpy("A", data, 50)
+        assert matrix.get_tile(0, 0).is_sparse
+        np.testing.assert_array_equal(matrix.to_numpy(), data)
+
+    def test_shared_backing(self):
+        backing = DenseBacking()
+        TiledMatrix.from_numpy("A", np.ones((4, 4)), 2, backing)
+        TiledMatrix.from_numpy("B", np.zeros((4, 4)), 2, backing)
+        assert len(backing) == 8
+
+    def test_1d_input_promoted(self):
+        matrix = TiledMatrix.from_numpy("v", np.arange(5.0), 2)
+        assert matrix.shape == (1, 5)
+
+
+class TestGridHelpers:
+    def test_assert_same_grid_ok(self):
+        a = TiledMatrix.zeros("A", 6, 4, 2)
+        b = TiledMatrix.zeros("B", 6, 4, 2)
+        assert_same_grid(a, b)
+
+    def test_assert_same_grid_shape_mismatch(self):
+        a = TiledMatrix.zeros("A", 6, 4, 2)
+        b = TiledMatrix.zeros("B", 4, 6, 2)
+        with pytest.raises(ShapeError):
+            assert_same_grid(a, b)
+
+    def test_assert_same_grid_tile_size_mismatch(self):
+        a = TiledMatrix.zeros("A", 6, 4, 2)
+        b = TiledMatrix.zeros("B", 6, 4, 3)
+        with pytest.raises(ShapeError):
+            assert_same_grid(a, b)
+
+    def test_multiply_grid(self):
+        left = TileGrid(10, 20, 5)
+        right = TileGrid(20, 30, 5)
+        out = multiply_grid(left, right)
+        assert out.shape == (10, 30)
+        assert out.tile_size == 5
+
+    def test_multiply_grid_mismatch(self):
+        with pytest.raises(ShapeError):
+            multiply_grid(TileGrid(10, 20, 5), TileGrid(21, 30, 5))
+
+    def test_multiply_grid_tile_size_mismatch(self):
+        with pytest.raises(ShapeError):
+            multiply_grid(TileGrid(10, 20, 5), TileGrid(20, 30, 4))
