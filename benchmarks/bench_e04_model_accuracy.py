@@ -13,6 +13,7 @@ dedicated node, so the bar here is looser but the predictions must be
 correlated and unbiased by more than ~2x).
 """
 
+import os
 import time
 
 import numpy as np
@@ -28,6 +29,10 @@ from repro.workloads import build_gnmf_program, build_multiply_program
 from benchmarks.common import Table, report
 
 TILE = 128
+
+#: CI smoke mode: shrink problem sizes so one E4 run finishes in seconds
+#: while still exercising the fit → predict → execute → compare pipeline.
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
 
 #: A pseudo-instance describing the local machine: effectively infinite
 #: I/O bandwidth (tiles live in memory), one reference-speed core per slot.
@@ -64,7 +69,7 @@ def build_series():
     rng = np.random.default_rng(17)
     rows = []
 
-    n = 1024
+    n = 512 if TINY else 1024
     multiply = build_multiply_program(n, n, n)
     rows.append(run_case(
         f"multiply {n}^3",
@@ -72,7 +77,7 @@ def build_series():
         {"A": rng.random((n, n)), "B": rng.random((n, n))},
     ))
 
-    n2 = 1536
+    n2 = 768 if TINY else 1536
     multiply2 = build_multiply_program(n2, n2, n2)
     rows.append(run_case(
         f"multiply {n2}^3",
@@ -80,12 +85,14 @@ def build_series():
         {"A": rng.random((n2, n2)), "B": rng.random((n2, n2))},
     ))
 
+    rows_gnmf = (384, 256, 8, 1) if TINY else (768, 512, 16, 2)
+    gm, gn, gr, giters = rows_gnmf
     rows.append(run_case(
-        "gnmf 768x512 r16 x2",
-        build_gnmf_program(768, 512, 16, iterations=2),
-        {"V": rng.random((768, 512)) + 0.01,
-         "W0": rng.random((768, 16)) + 0.01,
-         "H0": rng.random((16, 512)) + 0.01},
+        f"gnmf {gm}x{gn} r{gr} x{giters}",
+        build_gnmf_program(gm, gn, gr, iterations=giters),
+        {"V": rng.random((gm, gn)) + 0.01,
+         "W0": rng.random((gm, gr)) + 0.01,
+         "H0": rng.random((gr, gn)) + 0.01},
     ))
     return rows
 

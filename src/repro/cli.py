@@ -11,9 +11,13 @@ Commands
     Predict the workload's wall-clock on one specific cluster.
 ``optimize WORKLOAD (--deadline MIN | --budget USD)``
     Search the deployment space and print the chosen plan.
+``trace WORKLOAD [--format chrome|csv|summary] [--diff]``
+    Emit the workload's execution trace (simulated; with ``--diff`` also a
+    real local run, aligned task by task against the prediction).
 
-Workloads are the paper's evaluation programs at three preset scales
-(``--scale small|medium|large``).
+Workloads are the paper's evaluation programs at preset scales
+(``--scale tiny|small|medium|large``; ``tiny`` is sized for real local
+execution with ``trace --diff``).
 """
 
 from __future__ import annotations
@@ -24,12 +28,27 @@ import sys
 from repro.cloud import EC2_CATALOG, ClusterSpec, get_instance_type
 from repro.core.compiler import compile_program
 from repro.core.costmodel import CumulonCostModel
-from repro.core.explain import dag_to_dot, explain_plan, explain_program
+from repro.core.executor import CumulonExecutor
+from repro.core.explain import (
+    dag_to_dot,
+    explain_plan,
+    explain_program,
+    explain_trace,
+    explain_trace_diff,
+)
 from repro.core.optimizer import DeploymentOptimizer, SearchSpace
 from repro.core.physical import PhysicalContext
 from repro.core.program import Program
 from repro.core.simcost import simulate_program
 from repro.errors import ReproError
+from repro.observability import (
+    InMemoryRecorder,
+    SOURCE_ACTUAL,
+    SOURCE_SIMULATED,
+    chrome_trace_json,
+    to_csv,
+    trace_diff,
+)
 from repro.workloads import (
     build_gnmf_program,
     build_soft_kmeans_program,
@@ -43,6 +62,7 @@ from repro.workloads import (
 
 #: scale name -> (rows-ish base dimension, tile size)
 SCALES = {
+    "tiny": (1024, 256),
     "small": (8192, 1024),
     "medium": (32768, 2048),
     "large": (131072, 4096),
@@ -128,6 +148,54 @@ def cmd_optimize(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
+                       args.slots)
+    sim_recorder = InMemoryRecorder(source=SOURCE_SIMULATED)
+    compiled = compile_program(program, PhysicalContext(tile))
+    simulate_program(compiled.dag, spec, CumulonCostModel(),
+                     recorder=sim_recorder)
+    traces = [sim_recorder.trace()]
+    diff_text = None
+    if args.diff:
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        inputs = {name: rng.random(var.shape) * 0.9 + 0.1
+                  for name, var in program.inputs.items()}
+        actual_recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
+        executor = CumulonExecutor(tile_size=tile, max_workers=args.workers,
+                                   recorder=actual_recorder)
+        executor.run(program, inputs)
+        traces.append(actual_recorder.trace())
+        diff_text = explain_trace_diff(trace_diff(traces[0], traces[1]))
+    if args.format == "chrome":
+        document = chrome_trace_json(traces, indent=2)
+    elif args.format == "csv":
+        document = to_csv(traces)
+    else:
+        document = "\n\n".join(explain_trace(trace) for trace in traces)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+        except OSError as error:
+            raise ReproError(f"cannot write {args.out}: {error}") from error
+        print(f"wrote {args.format} trace ({len(traces)} trace(s)) "
+              f"to {args.out}", file=out)
+    else:
+        print(document, file=out)
+    if diff_text is not None:
+        if args.out or args.format == "summary":
+            print(diff_text, file=out)
+        else:
+            # Keep stdout a valid chrome/csv document; the human-facing
+            # diff report goes to stderr.
+            print(diff_text, file=sys.stderr)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +232,22 @@ def make_parser() -> argparse.ArgumentParser:
                        help="deadline in minutes (minimize cost)")
     group.add_argument("--budget", type=float,
                        help="budget in dollars (minimize time)")
+
+    trace = subparsers.add_parser(
+        "trace", help="emit an execution trace (chrome://tracing, CSV)")
+    add_workload_args(trace)
+    trace.add_argument("--instance", default="m1.large")
+    trace.add_argument("--nodes", type=int, default=8)
+    trace.add_argument("--slots", type=int, default=2)
+    trace.add_argument("--format", default="chrome",
+                       choices=("chrome", "csv", "summary"))
+    trace.add_argument("--out", default=None,
+                       help="write the trace to this file instead of stdout")
+    trace.add_argument("--diff", action="store_true",
+                       help="also run the workload for real (use --scale "
+                            "tiny) and report predicted-vs-actual error")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="thread-pool size for the --diff real run")
     return parser
 
 
@@ -172,6 +256,7 @@ COMMANDS = {
     "explain": cmd_explain,
     "simulate": cmd_simulate,
     "optimize": cmd_optimize,
+    "trace": cmd_trace,
 }
 
 

@@ -54,6 +54,7 @@ from repro.core.rewrite import reorder_matmul_chains, simplify
 from repro.errors import CompilationError
 from repro.hadoop.job import JobDag
 from repro.matrix.tiled import TileGrid, TiledMatrix
+from repro.observability.trace import NULL_RECORDER, TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -157,9 +158,11 @@ class Compiler:
     """Compiles one :class:`Program` into a :class:`CompiledProgram`."""
 
     def __init__(self, context: PhysicalContext,
-                 params: CompilerParams | None = None):
+                 params: CompilerParams | None = None,
+                 recorder: TraceRecorder = NULL_RECORDER):
         self.context = context
         self.params = params if params is not None else CompilerParams()
+        self.recorder = recorder
         self._dag = JobDag()
         self._env: dict[str, tuple[MatrixInfo, frozenset[str]]] = {}
         self._materialized: dict[str, MatrixInfo] = {}
@@ -179,8 +182,10 @@ class Compiler:
             info = MatrixInfo(name, grid, var.density)
             self._env[name] = (info, frozenset())
             self._materialized[name] = info
-        for statement in program.statements:
-            self._compile_statement(statement.target, statement.expr)
+        with self.recorder.span(f"compile-statements:{program.name}",
+                                "compiler"):
+            for statement in program.statements:
+                self._compile_statement(statement.target, statement.expr)
         bindings = {name: info for name, (info, __) in self._env.items()}
         return CompiledProgram(
             program=program,
@@ -464,6 +469,8 @@ class Compiler:
 
 
 def compile_program(program: Program, context: PhysicalContext,
-                    params: CompilerParams | None = None) -> CompiledProgram:
+                    params: CompilerParams | None = None,
+                    recorder: TraceRecorder = NULL_RECORDER
+                    ) -> CompiledProgram:
     """Convenience wrapper: compile ``program`` in one call."""
-    return Compiler(context, params).compile(program)
+    return Compiler(context, params, recorder=recorder).compile(program)

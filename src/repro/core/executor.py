@@ -19,6 +19,7 @@ from repro.core.program import Program
 from repro.errors import ExecutionError, ValidationError
 from repro.hadoop.local import LocalExecutor, LocalRunReport
 from repro.matrix.tiled import DEFAULT_TILE_SIZE, DenseBacking, TileBacking, TiledMatrix
+from repro.observability.trace import NULL_RECORDER, Trace, TraceRecorder
 
 
 @dataclass
@@ -29,6 +30,8 @@ class ExecutionResult:
     report: LocalRunReport
     compiled: CompiledProgram
     tiled_outputs: dict[str, TiledMatrix] = field(default_factory=dict)
+    #: Unified execution trace (None unless a recording recorder was given).
+    trace: Trace | None = None
 
     def output(self, name: str) -> np.ndarray:
         try:
@@ -43,23 +46,33 @@ class CumulonExecutor:
     def __init__(self, tile_size: int = DEFAULT_TILE_SIZE,
                  max_workers: int = 4,
                  params: CompilerParams | None = None,
-                 backing: TileBacking | None = None):
+                 backing: TileBacking | None = None,
+                 recorder: TraceRecorder = NULL_RECORDER):
         self.tile_size = tile_size
         self.max_workers = max_workers
         self.params = params if params is not None else CompilerParams()
         self.backing = backing if backing is not None else DenseBacking()
+        self.recorder = recorder
 
     def run(self, program: Program,
             inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
         """Execute ``program`` with the given numpy inputs."""
         inputs = inputs or {}
-        self._load_inputs(program, inputs)
+        recorder = self.recorder
+        with recorder.span(f"load-inputs:{program.name}", "executor"):
+            self._load_inputs(program, inputs)
         context = PhysicalContext(self.tile_size, self.backing, attach_run=True)
-        compiled = compile_program(program, context, self.params)
-        executor = LocalExecutor(max_workers=self.max_workers)
-        report = executor.run(compiled.dag)
-        outputs, tiled = self._collect_outputs(program, compiled)
-        return ExecutionResult(outputs, report, compiled, tiled)
+        with recorder.span(f"compile:{program.name}", "executor"):
+            compiled = compile_program(program, context, self.params,
+                                       recorder=recorder)
+        executor = LocalExecutor(max_workers=self.max_workers,
+                                 recorder=recorder)
+        with recorder.span(f"execute:{program.name}", "executor"):
+            report = executor.run(compiled.dag)
+        with recorder.span(f"collect-outputs:{program.name}", "executor"):
+            outputs, tiled = self._collect_outputs(program, compiled)
+        trace = recorder.trace() if recorder.enabled else None
+        return ExecutionResult(outputs, report, compiled, tiled, trace=trace)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -103,8 +116,9 @@ class CumulonExecutor:
 def run_program(program: Program, inputs: dict[str, np.ndarray] | None = None,
                 tile_size: int = DEFAULT_TILE_SIZE,
                 max_workers: int = 4,
-                params: CompilerParams | None = None) -> ExecutionResult:
+                params: CompilerParams | None = None,
+                recorder: TraceRecorder = NULL_RECORDER) -> ExecutionResult:
     """One-shot convenience: execute ``program`` and return its results."""
     executor = CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
-                               params=params)
+                               params=params, recorder=recorder)
     return executor.run(program, inputs)

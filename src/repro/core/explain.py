@@ -3,7 +3,9 @@
 ``explain_program`` prints the job DAG the way a database EXPLAIN prints an
 operator tree — per job: template, task count, bytes in/out, flops, and
 dependencies.  ``dag_to_dot`` emits Graphviz source for papers/notebooks.
-``explain_plan`` summarizes a deployment plan end to end.
+``explain_plan`` summarizes a deployment plan end to end.  ``explain_trace``
+and ``explain_trace_diff`` do the same for execution traces and
+predicted-vs-actual comparisons.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from __future__ import annotations
 from repro.core.compiler import CompiledProgram
 from repro.core.plans import DeploymentPlan
 from repro.hadoop.job import Job, JobDag, JobKind
+from repro.observability.diff import TraceDiff
+from repro.observability.trace import STATUS_SUCCESS, Trace
 
 
 def _human_bytes(count: int) -> str:
@@ -81,6 +85,45 @@ def explain_plan(plan: DeploymentPlan) -> str:
     if plan.tile_size:
         lines.append(f"  storage tile size: {plan.tile_size}")
     return "\n".join(lines)
+
+
+def explain_trace(trace: Trace) -> str:
+    """Multi-line summary of one execution trace (simulated or actual)."""
+    task_events = trace.task_events()
+    lines = [
+        f"trace [{trace.source}]: {len(trace.events)} events, "
+        f"{len(task_events)} task attempts, "
+        f"makespan {trace.makespan:.3f}s"
+    ]
+    by_job: dict[str, list] = {}
+    for event in task_events:
+        by_job.setdefault(event.job_id, []).append(event)
+    for job_id in sorted(by_job):
+        events = by_job[job_id]
+        ok = sum(1 for event in events if event.status == STATUS_SUCCESS)
+        span_start = min(event.start for event in events)
+        span_end = max(event.end for event in events)
+        read = sum(event.bytes_read for event in events)
+        written = sum(event.bytes_written for event in events)
+        parts = [
+            f"  {job_id}: {len(events)} attempts ({ok} ok)",
+            f"span {span_end - span_start:.3f}s",
+            f"read {_human_bytes(read)}",
+            f"write {_human_bytes(written)}",
+        ]
+        lines.append(" ".join(parts))
+    spans = trace.span_events()
+    if spans:
+        lines.append(f"  {len(spans)} profiling spans:")
+        for event in sorted(spans, key=lambda item: item.start):
+            lines.append(f"    {event.job_id}/{event.task_id}: "
+                         f"{event.duration:.3f}s")
+    return "\n".join(lines)
+
+
+def explain_trace_diff(diff: TraceDiff) -> str:
+    """Predicted-vs-actual comparison, one line per job plus totals."""
+    return diff.describe()
 
 
 def dag_to_dot(dag: JobDag, name: str = "plan") -> str:

@@ -40,6 +40,7 @@ from repro.core.plans import (
 from repro.core.program import Program
 from repro.core.simcost import simulate_program
 from repro.errors import InfeasibleConstraintError, ValidationError
+from repro.observability.trace import NULL_RECORDER, TraceRecorder
 
 #: Default search grid.
 DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
@@ -91,13 +92,15 @@ class DeploymentOptimizer:
                  cost_config: CostModelConfig | None = None,
                  billing: BillingModel | None = None,
                  startup_seconds: float = DEFAULT_STARTUP_SECONDS,
-                 locality_aware: bool = True):
+                 locality_aware: bool = True,
+                 recorder: TraceRecorder = NULL_RECORDER):
         self.program = program
         self.tile_size = tile_size
         self.model = CumulonCostModel(coefficients, cost_config)
         self.billing = billing if billing is not None else DEFAULT_BILLING
         self.startup_seconds = startup_seconds
         self.locality_aware = locality_aware
+        self.recorder = recorder
         self._compiled_cache: dict[tuple[CompilerParams, int],
                                    CompiledProgram] = {}
 
@@ -110,9 +113,11 @@ class DeploymentOptimizer:
         key = (params, tile_size)
         if key not in self._compiled_cache:
             context = PhysicalContext(tile_size)
-            self._compiled_cache[key] = compile_program(
-                self.program, context, params
-            )
+            with self.recorder.span(
+                    f"compile:tile={tile_size}:{params.matmul}", "optimizer"):
+                self._compiled_cache[key] = compile_program(
+                    self.program, context, params
+                )
         return self._compiled_cache[key]
 
     def evaluate(self, spec: ClusterSpec, params: CompilerParams,
@@ -120,8 +125,9 @@ class DeploymentOptimizer:
         """Price one (cluster, physical-plan, tile-size) combination."""
         tile_size = tile_size if tile_size is not None else self.tile_size
         compiled = self.compile_with(params, tile_size)
-        estimate = simulate_program(compiled.dag, spec, self.model,
-                                    locality_aware=self.locality_aware)
+        with self.recorder.span(f"simulate:{spec.describe()}", "optimizer"):
+            estimate = simulate_program(compiled.dag, spec, self.model,
+                                        locality_aware=self.locality_aware)
         seconds = estimate.seconds + self.startup_seconds
         cost = self.billing.cost(spec, seconds)
         return DeploymentPlan(spec, params, seconds, cost,
@@ -149,11 +155,12 @@ class DeploymentOptimizer:
         """Evaluate the full grid: every spec with its best physical params."""
         space = space if space is not None else SearchSpace()
         plans = []
-        for instance in space.instance_types:
-            for num_nodes in space.node_counts:
-                for slots in space.slots_for(instance):
-                    spec = ClusterSpec(instance, num_nodes, slots)
-                    plans.append(self.best_params_for(spec, space))
+        with self.recorder.span("grid-search", "optimizer"):
+            for instance in space.instance_types:
+                for num_nodes in space.node_counts:
+                    for slots in space.slots_for(instance):
+                        spec = ClusterSpec(instance, num_nodes, slots)
+                        plans.append(self.best_params_for(spec, space))
         return plans
 
     def skyline(self, space: SearchSpace | None = None) -> list[DeploymentPlan]:
@@ -202,6 +209,17 @@ class DeploymentOptimizer:
             instance = space.instance_types[0]
             seed_spec = ClusterSpec(instance, max(space.node_counts),
                                     min(instance.cores, instance.max_slots))
+        with self.recorder.span("hill-climb", "optimizer"):
+            current = self._hill_climb(deadline_seconds, space, seed_spec,
+                                       max_steps)
+        if current.estimated_seconds > deadline_seconds:
+            raise InfeasibleConstraintError(
+                f"hill climbing found no plan within {deadline_seconds:.0f}s"
+            )
+        return current
+
+    def _hill_climb(self, deadline_seconds: float, space: SearchSpace,
+                    seed_spec: ClusterSpec, max_steps: int) -> DeploymentPlan:
         current = self.best_params_for(seed_spec, space)
         visited = {self._spec_key(seed_spec)}
         for __ in range(max_steps):
@@ -230,10 +248,6 @@ class DeploymentOptimizer:
                 if fastest.estimated_seconds >= current.estimated_seconds:
                     break
                 current = fastest
-        if current.estimated_seconds > deadline_seconds:
-            raise InfeasibleConstraintError(
-                f"hill climbing found no plan within {deadline_seconds:.0f}s"
-            )
         return current
 
     @staticmethod

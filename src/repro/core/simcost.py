@@ -20,6 +20,7 @@ from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.simulator import ClusterSimulator, SimulationResult
 from repro.hadoop.timemodel import TaskTimeModel
 from repro.hdfs.tilestore import TileStore
+from repro.observability.trace import NULL_RECORDER, TraceRecorder
 from repro.matrix.tile import TileId
 
 from repro.core.physical import MatrixInfo
@@ -42,9 +43,16 @@ class ProgramEstimate:
 
 
 def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
-                     locality_aware: bool = True) -> ProgramEstimate:
-    """Estimate wall-clock of ``dag`` on ``spec`` by event simulation."""
-    simulator = ClusterSimulator(spec, model, locality_aware=locality_aware)
+                     locality_aware: bool = True,
+                     recorder: TraceRecorder = NULL_RECORDER
+                     ) -> ProgramEstimate:
+    """Estimate wall-clock of ``dag`` on ``spec`` by event simulation.
+
+    Pass an :class:`~repro.observability.trace.InMemoryRecorder` to capture
+    the predicted per-task trace alongside the aggregate estimate.
+    """
+    simulator = ClusterSimulator(spec, model, locality_aware=locality_aware,
+                                 recorder=recorder)
     result = simulator.run(dag)
     job_seconds = {job_id: timeline.duration
                    for job_id, timeline in result.job_timelines.items()}

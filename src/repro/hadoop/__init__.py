@@ -11,9 +11,11 @@ from repro.hadoop.local import LocalExecutor, LocalJobReport, LocalRunReport
 from repro.hadoop.metrics import (
     UtilizationReport,
     render_timeline,
+    render_trace_timeline,
     straggler_report,
     to_chrome_trace,
     utilization,
+    utilization_from_trace,
 )
 from repro.hadoop.simulator import (
     ClusterSimulator,
@@ -44,9 +46,11 @@ __all__ = [
     "LocalExecutor",
     "UtilizationReport",
     "render_timeline",
+    "render_trace_timeline",
     "straggler_report",
     "to_chrome_trace",
     "utilization",
+    "utilization_from_trace",
     "LocalJobReport",
     "LocalRunReport",
     "SimulationResult",

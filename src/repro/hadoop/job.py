@@ -58,22 +58,23 @@ class Job:
     def num_tasks(self) -> int:
         return len(self.map_tasks) + len(self.reduce_tasks)
 
+    def all_tasks(self) -> list[Task]:
+        """Every task of this job, maps first (the execution order)."""
+        return self.map_tasks + self.reduce_tasks
+
     @property
     def shuffle_bytes(self) -> int:
         """Total bytes flowing through this job's shuffle."""
         return sum(task.work.shuffle_bytes for task in self.map_tasks)
 
     def total_bytes_read(self) -> int:
-        return sum(task.work.bytes_read
-                   for task in self.map_tasks + self.reduce_tasks)
+        return sum(task.work.bytes_read for task in self.all_tasks())
 
     def total_bytes_written(self) -> int:
-        return sum(task.work.bytes_written
-                   for task in self.map_tasks + self.reduce_tasks)
+        return sum(task.work.bytes_written for task in self.all_tasks())
 
     def total_flops(self) -> int:
-        return sum(task.work.flops
-                   for task in self.map_tasks + self.reduce_tasks)
+        return sum(task.work.flops for task in self.all_tasks())
 
 
 class JobDag:

@@ -7,17 +7,37 @@ total slot count via a thread pool (numpy releases the GIL in its kernels, so
 a pool gives genuine overlap), and job dependencies are honoured.
 
 This path is what the correctness tests and the "actual" side of the
-model-accuracy experiment (E4) use.
+model-accuracy experiment (E4) use.  When given a
+:class:`~repro.observability.trace.TraceRecorder` it emits the same
+:class:`~repro.observability.trace.TraceEvent` schema the simulator does —
+one event per task attempt, tagged with the worker slot that ran it — so a
+real run and a simulated run of one DAG are directly diffable.
+
+Failure semantics: the first task exception wins.  Queued tasks that have
+not started yet are cancelled, in-flight tasks are allowed to drain (Python
+threads cannot be interrupted), and the failure propagates as
+:class:`~repro.errors.ExecutionError` once the pool is quiescent — never a
+hang, and the partial trace stays well-formed (the failing attempt is
+recorded with ``status="failed"``).
 """
 
 from __future__ import annotations
 
+import heapq
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
 from repro.hadoop.job import Job, JobDag
+from repro.observability.trace import (
+    NULL_RECORDER,
+    STATUS_FAILED,
+    STATUS_SUCCESS,
+    TraceEvent,
+    TraceRecorder,
+)
 
 
 @dataclass
@@ -40,56 +60,106 @@ class LocalRunReport:
         return sum(report.seconds for report in self.job_reports)
 
 
+class _SlotPool:
+    """Thread-safe pool of worker-slot indices.
+
+    The executor has at most ``max_workers`` tasks in flight, so acquisition
+    never blocks; the min-heap hands out the lowest free index, which keeps
+    slot names stable across runs.
+    """
+
+    def __init__(self, count: int):
+        self._free = list(range(count))
+        self._lock = threading.Lock()
+
+    def acquire(self) -> int:
+        with self._lock:
+            return heapq.heappop(self._free)
+
+    def release(self, slot: int) -> None:
+        with self._lock:
+            heapq.heappush(self._free, slot)
+
+
 class LocalExecutor:
     """Executes job DAGs with real computation on a thread pool."""
 
-    def __init__(self, max_workers: int = 4):
+    def __init__(self, max_workers: int = 4,
+                 recorder: TraceRecorder = NULL_RECORDER):
         if max_workers <= 0:
             raise ExecutionError("max_workers must be positive")
         self.max_workers = max_workers
+        self.recorder = recorder
 
     def run(self, dag: JobDag) -> LocalRunReport:
         """Execute all jobs in dependency order; returns timing report."""
         report = LocalRunReport()
         finished: set[str] = set()
+        slots = _SlotPool(self.max_workers)
         for job in dag.topological_order():
             missing = job.depends_on - finished
             if missing:
                 raise ExecutionError(
                     f"job {job.job_id} scheduled before dependencies {missing}"
                 )
-            report.job_reports.append(self._run_job(job))
+            report.job_reports.append(self._run_job(job, slots))
             finished.add(job.job_id)
         return report
 
-    def _run_job(self, job: Job) -> LocalJobReport:
+    def _run_job(self, job: Job, slots: _SlotPool) -> LocalJobReport:
         started = time.perf_counter()
         # Map phase, then (for MapReduce jobs) reduce phase — a real barrier,
         # matching Hadoop semantics.
-        self._run_phase(job, job.map_tasks)
-        self._run_phase(job, job.reduce_tasks)
+        self._run_phase(job, job.map_tasks, slots)
+        self._run_phase(job, job.reduce_tasks, slots)
         elapsed = time.perf_counter() - started
         return LocalJobReport(job.job_id, elapsed, job.num_tasks)
 
-    def _run_phase(self, job: Job, tasks) -> None:
+    def _run_phase(self, job: Job, tasks, slots: _SlotPool) -> None:
         runnable = [task for task in tasks if task.run is not None]
         if not runnable:
             return
         if self.max_workers == 1 or len(runnable) == 1:
             for task in runnable:
-                self._invoke(job, task)
+                self._invoke(job, task, slots)
             return
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {pool.submit(self._invoke, job, task): task
-                       for task in runnable}
+            futures = [pool.submit(self._invoke, job, task, slots)
+                       for task in runnable]
+            # Stop dispatching as soon as anything fails: cancel what has
+            # not started, let running tasks drain, raise the first error.
+            __, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
             for future in futures:
-                future.result()  # propagate the first failure
+                if not future.cancelled():
+                    future.result()  # propagate the first failure
 
-    @staticmethod
-    def _invoke(job: Job, task) -> None:
+    def _invoke(self, job: Job, task, slots: _SlotPool) -> None:
+        recorder = self.recorder
+        slot = slots.acquire()
+        start = recorder.now() if recorder.enabled else 0.0
+        status = STATUS_SUCCESS
         try:
             task.run()
         except Exception as exc:
+            status = STATUS_FAILED
             raise ExecutionError(
                 f"task {task.task_id} of job {job.job_id} failed: {exc}"
             ) from exc
+        finally:
+            if recorder.enabled:
+                recorder.record(TraceEvent(
+                    job_id=job.job_id,
+                    task_id=task.task_id,
+                    phase=task.kind.value,
+                    slot=f"worker:{slot}",
+                    start=start,
+                    end=recorder.now(),
+                    bytes_read=task.work.bytes_read,
+                    bytes_written=task.work.bytes_written,
+                    attempt=0,
+                    status=status,
+                    label=task.label,
+                ))
+            slots.release(slot)

@@ -39,6 +39,12 @@ from repro.hadoop.faults import FailureModel
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.task import Task, TaskAttempt, TaskKind
 from repro.hadoop.timemodel import TaskTimeModel
+from repro.observability.trace import (
+    NULL_RECORDER,
+    PHASE_SHUFFLE,
+    TraceEvent,
+    TraceRecorder,
+)
 
 #: Attempt outcomes recorded in the timeline.
 SUCCESS = "success"
@@ -104,17 +110,27 @@ class SimulationResult:
 class _NodeState:
     """Mutable per-node bookkeeping during simulation."""
 
-    __slots__ = ("name", "slots", "busy", "slow_factor")
+    __slots__ = ("name", "slots", "busy", "slow_factor", "free_slots")
 
     def __init__(self, name: str, slots: int, slow_factor: float = 1.0):
         self.name = name
         self.slots = slots
         self.busy = 0
         self.slow_factor = slow_factor
+        #: Min-heap of free slot indices: attempts always take the lowest
+        #: free slot, which makes slot assignment (and hence traces)
+        #: deterministic.
+        self.free_slots = list(range(slots))
 
     @property
     def free(self) -> int:
         return self.slots - self.busy
+
+    def acquire_slot(self) -> int:
+        return heapq.heappop(self.free_slots)
+
+    def release_slot(self, slot: int) -> None:
+        heapq.heappush(self.free_slots, slot)
 
 
 #: Speculate only on attempts running longer than this multiple of the
@@ -179,7 +195,8 @@ class ClusterSimulator:
                  failures: FailureModel | None = None,
                  speculative: bool = False,
                  slow_nodes: dict[str, float] | None = None,
-                 scheduling: str = FIFO):
+                 scheduling: str = FIFO,
+                 recorder: TraceRecorder = NULL_RECORDER):
         if scheduling not in (FIFO, FAIR):
             raise ValidationError(
                 f"scheduling must be {FIFO!r} or {FAIR!r}, got {scheduling!r}"
@@ -190,6 +207,7 @@ class ClusterSimulator:
         self.failures = failures
         self.speculative = speculative
         self.scheduling = scheduling
+        self.recorder = recorder
         self.slow_nodes = dict(slow_nodes or {})
         for name, factor in self.slow_nodes.items():
             if factor < 1.0:
@@ -239,6 +257,7 @@ class ClusterSimulator:
             attempt_index = task_state.next_attempt
             task_state.next_attempt += 1
             node.busy += 1
+            slot = node.acquire_slot()
             local = (not task.preferred_nodes
                      or node.name in task.preferred_nodes)
             duration = self.time_model.task_duration(
@@ -262,14 +281,35 @@ class ClusterSimulator:
                     end=self._clock + duration * fraction,
                     concurrency_at_start=node.busy, status=FAILED)
                 push_event(attempt.end, "task-failed",
-                           (attempt, state, node, token, attempt_index))
+                           (attempt, state, node, token, attempt_index, slot))
             else:
                 attempt = TaskAttempt(
                     task=task, node=node.name, start=self._clock,
                     end=self._clock + duration,
                     concurrency_at_start=node.busy, status=SUCCESS)
                 push_event(attempt.end, "task-done",
-                           (attempt, state, node, token))
+                           (attempt, state, node, token, attempt_index, slot))
+
+        def emit_attempt_event(state: _JobState, attempt: TaskAttempt,
+                               slot: int, attempt_index: int,
+                               status: str, end: float) -> None:
+            """Mirror one recorded attempt into the unified trace schema."""
+            if not self.recorder.enabled:
+                return
+            work = attempt.task.work
+            self.recorder.record(TraceEvent(
+                job_id=state.job.job_id,
+                task_id=attempt.task.task_id,
+                phase=attempt.task.kind.value,
+                slot=f"{attempt.node}:{slot}",
+                start=attempt.start,
+                end=end,
+                bytes_read=work.bytes_read,
+                bytes_written=work.bytes_written,
+                attempt=attempt_index,
+                status=status,
+                label=attempt.task.label,
+            ))
 
         def scan_order() -> list[str]:
             """Job priority per the scheduling policy.
@@ -396,8 +436,9 @@ class ClusterSimulator:
             elif kind == "job-empty":
                 finish_job(states[payload])
             elif kind == "task-done":
-                attempt, state, node, token = payload
+                attempt, state, node, token, attempt_index, slot = payload
                 node.busy -= 1
+                node.release_slot(slot)
                 state.running_attempts -= 1
                 task_state = state.task_states[attempt.task]
                 if token in cancelled:
@@ -408,14 +449,19 @@ class ClusterSimulator:
                         concurrency_at_start=attempt.concurrency_at_start,
                         status=KILLED)
                     state.attempts.append(killed)
+                    emit_attempt_event(state, attempt, slot, attempt_index,
+                                       KILLED, self._clock)
                 else:
                     task_state.running.pop(token, None)
                     state.attempts.append(attempt)
+                    emit_attempt_event(state, attempt, slot, attempt_index,
+                                       SUCCESS, attempt.end)
                     if not task_state.completed:
                         complete_task(state, attempt)
             elif kind == "task-failed":
-                attempt, state, node, token, attempt_index = payload
+                attempt, state, node, token, attempt_index, slot = payload
                 node.busy -= 1
+                node.release_slot(slot)
                 state.running_attempts -= 1
                 task_state = state.task_states[attempt.task]
                 if token in cancelled:
@@ -425,7 +471,11 @@ class ClusterSimulator:
                         start=attempt.start, end=self._clock,
                         concurrency_at_start=attempt.concurrency_at_start,
                         status=KILLED))
+                    emit_attempt_event(state, attempt, slot, attempt_index,
+                                       KILLED, self._clock)
                 else:
+                    emit_attempt_event(state, attempt, slot, attempt_index,
+                                       FAILED, attempt.end)
                     task_state.running.pop(token, None)
                     state.attempts.append(attempt)
                     if not task_state.completed:
@@ -493,4 +543,15 @@ class ClusterSimulator:
                      * self.spec.instance_type.network_bandwidth)
         seconds = self.time_model.shuffle_duration(state.job, bandwidth)
         state.shuffle_seconds = seconds
+        if self.recorder.enabled:
+            self.recorder.record(TraceEvent(
+                job_id=state.job.job_id,
+                task_id=f"{state.job.job_id}:shuffle",
+                phase=PHASE_SHUFFLE,
+                slot="",
+                start=self._clock,
+                end=self._clock + seconds,
+                bytes_read=state.job.shuffle_bytes,
+                bytes_written=state.job.shuffle_bytes,
+            ))
         push_event(self._clock + seconds, "shuffle-done", state)

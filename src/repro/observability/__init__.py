@@ -1,0 +1,77 @@
+"""Unified execution tracing & metrics across simulation and real execution.
+
+One schema (:class:`TraceEvent`), two emitters (the discrete-event
+:class:`~repro.hadoop.simulator.ClusterSimulator` in virtual time, the
+thread-pool :class:`~repro.hadoop.local.LocalExecutor` in wall time), and
+the analysis layer the model-accuracy experiments build on: trace diffing
+(:func:`trace_diff`), Chrome-trace/CSV export, and structural invariants.
+
+Tracing is off by default — every emission site takes a
+:class:`TraceRecorder` defaulting to :data:`NULL_RECORDER`, whose hooks are
+no-ops — so the hot paths pay nothing unless a caller opts in.
+"""
+
+from repro.observability.diff import JobDiff, TaskDiff, TraceDiff, trace_diff
+from repro.observability.export import (
+    CSV_COLUMNS,
+    chrome_trace_json,
+    structural_summary,
+    to_chrome_events,
+    to_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.observability.trace import (
+    NULL_RECORDER,
+    PHASE_JOB,
+    PHASE_MAP,
+    PHASE_REDUCE,
+    PHASE_SHUFFLE,
+    PHASE_SPAN,
+    SCHEMA_FIELDS,
+    SOURCE_ACTUAL,
+    SOURCE_SIMULATED,
+    STATUS_FAILED,
+    STATUS_KILLED,
+    STATUS_SUCCESS,
+    TASK_PHASES,
+    InMemoryRecorder,
+    NullRecorder,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "InMemoryRecorder",
+    "JobDiff",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PHASE_JOB",
+    "PHASE_MAP",
+    "PHASE_REDUCE",
+    "PHASE_SHUFFLE",
+    "PHASE_SPAN",
+    "SCHEMA_FIELDS",
+    "SOURCE_ACTUAL",
+    "SOURCE_SIMULATED",
+    "STATUS_FAILED",
+    "STATUS_KILLED",
+    "STATUS_SUCCESS",
+    "TASK_PHASES",
+    "TaskDiff",
+    "Trace",
+    "TraceDiff",
+    "TraceEvent",
+    "TraceRecorder",
+    "chrome_trace_json",
+    "structural_summary",
+    "to_chrome_events",
+    "to_csv",
+    "trace_diff",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+]

@@ -1,11 +1,13 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
 from repro.cli import build_workload, main
 from repro.errors import ReproError
+from repro.observability import validate_chrome_trace
 
 
 def run_cli(*argv):
@@ -71,6 +73,44 @@ class TestOptimize:
     def test_constraint_required(self):
         with pytest.raises(SystemExit):
             run_cli("optimize", "multiply")
+
+
+class TestTrace:
+    def test_chrome_output_is_valid(self):
+        code, text = run_cli("trace", "multiply", "--scale", "tiny")
+        assert code == 0
+        assert validate_chrome_trace(text) > 0
+        assert json.loads(text)["displayTimeUnit"] == "ms"
+
+    def test_csv_output(self):
+        code, text = run_cli("trace", "multiply", "--scale", "tiny",
+                             "--format", "csv")
+        assert code == 0
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("source,job_id,task_id,phase,slot")
+        assert len(lines) > 1
+
+    def test_summary_output(self):
+        code, text = run_cli("trace", "multiply", "--scale", "tiny",
+                             "--format", "summary")
+        assert code == 0
+        assert "trace [simulated]" in text
+        assert "makespan" in text
+
+    def test_diff_reports_coverage(self):
+        code, text = run_cli("trace", "multiply", "--scale", "tiny",
+                             "--diff", "--format", "summary")
+        assert code == 0
+        assert "trace [actual]" in text
+        assert "coverage 100%" in text
+
+    def test_out_writes_file(self, tmp_path):
+        target = tmp_path / "trace.json"
+        code, text = run_cli("trace", "multiply", "--scale", "tiny",
+                             "--out", str(target))
+        assert code == 0
+        assert validate_chrome_trace(
+            target.read_text(encoding="utf-8")) > 0
 
 
 class TestWorkloadRegistry:

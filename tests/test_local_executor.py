@@ -1,6 +1,7 @@
 """Unit tests for the local (real-execution) engine."""
 
 import threading
+import time
 
 import pytest
 
@@ -8,6 +9,12 @@ from repro.errors import ExecutionError
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.local import LocalExecutor
 from repro.hadoop.task import TaskWork, make_map_task, make_reduce_task
+from repro.observability import (
+    InMemoryRecorder,
+    SOURCE_ACTUAL,
+    STATUS_FAILED,
+    STATUS_SUCCESS,
+)
 
 
 def counting_task(task_id, counter, lock):
@@ -85,3 +92,94 @@ class TestLocalExecutor:
         ])
         report = LocalExecutor().run(dag)
         assert [r.job_id for r in report.job_reports] == ["a", "b"]
+
+
+class TestFailurePaths:
+    """Regression tests: exceptions mid-pool must neither hang nor corrupt
+    the trace (previously untested under concurrency)."""
+
+    @staticmethod
+    def failing_task(task_id="bad"):
+        def boom():
+            raise RuntimeError(f"{task_id} kaput")
+
+        return make_map_task(task_id, TaskWork(), run=boom)
+
+    @staticmethod
+    def slow_task(task_id, ran, lock, seconds=0.05):
+        def run():
+            with lock:
+                ran.append(task_id)
+            time.sleep(seconds)
+
+        return make_map_task(task_id, TaskWork(), run=run)
+
+    def test_mid_pool_failure_propagates_without_hanging(self):
+        ran, lock = [], threading.Lock()
+        tasks = [self.failing_task("t0-bad")] + [
+            self.slow_task(f"t{i}", ran, lock) for i in range(1, 20)
+        ]
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, tasks)])
+        started = time.perf_counter()
+        with pytest.raises(ExecutionError, match="t0-bad"):
+            LocalExecutor(max_workers=2).run(dag)
+        elapsed = time.perf_counter() - started
+        # 19 slow tasks at 50ms on 2 workers would take ~0.5s; a prompt
+        # cancellation finishes far sooner (in-flight tasks drain only).
+        assert elapsed < 0.5
+
+    def test_queued_tasks_cancelled_after_failure(self):
+        ran, lock = [], threading.Lock()
+        tasks = [self.failing_task("t0-bad")] + [
+            self.slow_task(f"t{i}", ran, lock) for i in range(1, 20)
+        ]
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, tasks)])
+        with pytest.raises(ExecutionError):
+            LocalExecutor(max_workers=2).run(dag)
+        # The failure fires immediately; only tasks already dispatched may
+        # have started — the long tail must have been cancelled.
+        assert len(ran) < 19
+
+    def test_failure_in_reduce_phase(self):
+        def fine():
+            pass
+
+        job = Job("mr", JobKind.MAPREDUCE,
+                  [make_map_task(f"m{i}", TaskWork(), run=fine)
+                   for i in range(4)],
+                  [make_reduce_task("r-bad", TaskWork(),
+                                    run=self.failing_task().run)])
+        with pytest.raises(ExecutionError, match="r-bad"):
+            LocalExecutor(max_workers=3).run(JobDag([job]))
+
+    def test_partial_trace_well_formed_after_failure(self):
+        ran, lock = [], threading.Lock()
+        tasks = [self.slow_task(f"t{i}", ran, lock, seconds=0.01)
+                 for i in range(4)] + [self.failing_task("t-bad")]
+        dag = JobDag([Job("j", JobKind.MAP_ONLY, tasks)])
+        recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
+        with pytest.raises(ExecutionError, match="t-bad"):
+            LocalExecutor(max_workers=2, recorder=recorder).run(dag)
+        trace = recorder.trace()
+        statuses = {event.task_id: event.status
+                    for event in trace.task_events()}
+        assert statuses["t-bad"] == STATUS_FAILED
+        assert all(event.end >= event.start for event in trace.events)
+        assert trace.slot_overlaps() == []
+        # Completed tasks kept their success events despite the failure.
+        assert all(status == STATUS_SUCCESS
+                   for task_id, status in statuses.items()
+                   if task_id != "t-bad")
+
+    def test_failure_does_not_leak_slots(self):
+        """The pool stays usable for subsequent runs after a failure."""
+        executor = LocalExecutor(max_workers=2)
+        bad = JobDag([Job("j", JobKind.MAP_ONLY, [self.failing_task()])])
+        with pytest.raises(ExecutionError):
+            executor.run(bad)
+        ran, lock = [], threading.Lock()
+        good = JobDag([Job("k", JobKind.MAP_ONLY,
+                           [self.slow_task(f"g{i}", ran, lock, seconds=0.001)
+                            for i in range(6)])])
+        executor.run(good)
+        assert len(ran) == 6
