@@ -13,6 +13,7 @@ dedicated node, so the bar here is looser but the predictions must be
 correlated and unbiased by more than ~2x).
 """
 
+import json
 import os
 import time
 
@@ -24,9 +25,10 @@ from repro.core.compiler import CompilerParams
 from repro.core.costmodel import CumulonCostModel
 from repro.core.executor import CumulonExecutor
 from repro.core.physical import MatMulParams
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.workloads import build_gnmf_program, build_multiply_program
 
-from benchmarks.common import Table, report
+from benchmarks.common import RESULTS_DIR, Table, report
 
 TILE = 128
 
@@ -51,12 +53,14 @@ def predicted_seconds(compiled, model):
     return total
 
 
-def run_case(name, program, inputs):
+def run_case(name, program, inputs, registry=None):
     coefficients = fit_local_coefficients(tile_size=TILE)
     model = CumulonCostModel(coefficients)
     executor = CumulonExecutor(tile_size=TILE, max_workers=1,
                                params=CompilerParams(
-                                   matmul=MatMulParams(1, 1, 1)))
+                                   matmul=MatMulParams(1, 1, 1)),
+                               metrics=registry if registry is not None
+                               else NULL_METRICS)
     started = time.perf_counter()
     result = executor.run(program, inputs)
     actual = time.perf_counter() - started
@@ -65,7 +69,7 @@ def run_case(name, program, inputs):
             abs(predicted - actual) / actual * 100.0]
 
 
-def build_series():
+def build_series(registry=None):
     rng = np.random.default_rng(17)
     rows = []
 
@@ -75,6 +79,7 @@ def build_series():
         f"multiply {n}^3",
         multiply,
         {"A": rng.random((n, n)), "B": rng.random((n, n))},
+        registry,
     ))
 
     n2 = 768 if TINY else 1536
@@ -83,6 +88,7 @@ def build_series():
         f"multiply {n2}^3",
         multiply2,
         {"A": rng.random((n2, n2)), "B": rng.random((n2, n2))},
+        registry,
     ))
 
     rows_gnmf = (384, 256, 8, 1) if TINY else (768, 512, 16, 2)
@@ -93,6 +99,7 @@ def build_series():
         {"V": rng.random((gm, gn)) + 0.01,
          "W0": rng.random((gm, gr)) + 0.01,
          "H0": rng.random((gr, gn)) + 0.01},
+        registry,
     ))
     return rows
 
@@ -103,17 +110,29 @@ def rows_within_band(rows) -> bool:
 
 
 def test_e04_model_accuracy(benchmark):
-    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    registry = MetricsRegistry()
+    rows = benchmark.pedantic(build_series, args=(registry,),
+                              rounds=1, iterations=1)
     if not rows_within_band(rows):
         # Wall-clock measurements flake when the host is loaded (e.g. the
         # whole bench suite running); one re-measure filters that noise.
-        rows = build_series()
+        registry.clear()
+        rows = build_series(registry)
     report(Table(
         experiment="E04",
         title="Cost-model predictions vs real local execution",
         headers=["job", "predicted_s", "actual_s", "error_pct"],
         rows=rows,
-    ))
+    ), registry=registry)
+    # The telemetry snapshot must land next to the text table, as valid JSON.
+    snapshot_path = os.path.join(RESULTS_DIR, "e04.json")
+    assert os.path.exists(snapshot_path)
+    with open(snapshot_path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["experiment"] == "E04"
+    counters = {c["name"]: c["value"]
+                for c in snapshot["metrics"]["counters"]}
+    assert counters.get("local.tasks_completed", 0) > 0
     for name, predicted, actual, error in rows:
         # Predictions must be the right order of magnitude and correlated.
         assert predicted > 0 and actual > 0

@@ -10,11 +10,13 @@ machine-independent.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 
 from repro.cloud import ClusterSpec, get_instance_type
 from repro.core.costmodel import CumulonCostModel
+from repro.observability.metrics import MetricsRegistry
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -62,12 +64,37 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
-def report(table: Table) -> str:
-    """Print the table and persist it under benchmarks/results/."""
+def report(table: Table, registry: MetricsRegistry | None = None) -> str:
+    """Print the table and persist it under benchmarks/results/.
+
+    With a ``registry``, the experiment's metrics snapshot lands in a JSON
+    file next to the text table (``eXX_name.json``), so CI can archive the
+    telemetry behind each figure alongside the figure itself.
+    """
     text = table.formatted()
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{table.experiment.lower()}.txt")
+    stem = table.experiment.lower()
+    path = os.path.join(RESULTS_DIR, f"{stem}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    if registry is not None:
+        document = {
+            "experiment": table.experiment,
+            "title": table.title,
+            "headers": table.headers,
+            "rows": table.rows,
+            "metrics": registry.snapshot(),
+        }
+        json_path = os.path.join(RESULTS_DIR, f"{stem}.json")
+        with open(json_path, "w") as handle:
+            json.dump(document, handle, indent=2, default=_json_cell)
+            handle.write("\n")
     return text
+
+
+def _json_cell(value):
+    """Coerce numpy scalars and other oddballs for json.dump."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

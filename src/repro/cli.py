@@ -6,7 +6,8 @@ Commands
     Print the cloud instance catalog the optimizer searches.
 ``explain WORKLOAD``
     Compile a named workload and print its job-DAG EXPLAIN (or Graphviz
-    source with ``--dot``).
+    source with ``--dot``, or the optimizer's full candidate-by-candidate
+    search telemetry with ``--search``).
 ``simulate WORKLOAD --instance TYPE --nodes N --slots S``
     Predict the workload's wall-clock on one specific cluster.
 ``optimize WORKLOAD (--deadline MIN | --budget USD)``
@@ -14,6 +15,9 @@ Commands
 ``trace WORKLOAD [--format chrome|csv|summary] [--diff]``
     Emit the workload's execution trace (simulated; with ``--diff`` also a
     real local run, aligned task by task against the prediction).
+``metrics WORKLOAD [--format prom|json|csv|dashboard]``
+    Simulate the workload with telemetry on and emit the collected metrics
+    (Prometheus text, JSON, CSV, or an ASCII dashboard with sparklines).
 
 Workloads are the paper's evaluation programs at preset scales
 (``--scale tiny|small|medium|large``; ``tiny`` is sized for real local
@@ -33,6 +37,7 @@ from repro.core.explain import (
     dag_to_dot,
     explain_plan,
     explain_program,
+    explain_search,
     explain_trace,
     explain_trace_diff,
 )
@@ -42,11 +47,18 @@ from repro.core.program import Program
 from repro.core.simcost import simulate_program
 from repro.errors import ReproError
 from repro.observability import (
+    CostMeter,
     InMemoryRecorder,
+    MetricsRegistry,
     SOURCE_ACTUAL,
     SOURCE_SIMULATED,
+    SearchTrace,
     chrome_trace_json,
+    metrics_to_csv,
+    metrics_to_json,
+    render_dashboard,
     to_csv,
+    to_prometheus,
     trace_diff,
 )
 from repro.workloads import (
@@ -67,6 +79,16 @@ SCALES = {
     "medium": (32768, 2048),
     "large": (131072, 4096),
 }
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+        return repro.__version__
 
 
 def build_workload(name: str, scale: str) -> tuple[Program, int]:
@@ -112,8 +134,47 @@ def cmd_catalog(args, out) -> int:
     return 0
 
 
+def _parse_list(text: str, label: str, convert=str) -> tuple:
+    """Parse a comma-separated CLI option into a tuple of values."""
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise ReproError(f"--{label} needs at least one value")
+    try:
+        return tuple(convert(item) for item in items)
+    except ValueError as error:
+        raise ReproError(f"bad --{label} value: {error}") from error
+
+
+def build_search_space(args) -> SearchSpace:
+    """A (possibly restricted) deployment grid from CLI options."""
+    kwargs = {}
+    if getattr(args, "instances", None):
+        names = _parse_list(args.instances, "instances")
+        kwargs["instance_types"] = tuple(get_instance_type(name)
+                                         for name in names)
+    if getattr(args, "node_counts", None):
+        kwargs["node_counts"] = _parse_list(args.node_counts, "node-counts",
+                                            int)
+    if getattr(args, "slot_options", None):
+        kwargs["slots_options"] = _parse_list(args.slot_options,
+                                              "slot-options", int)
+    return SearchSpace(**kwargs)
+
+
 def cmd_explain(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
+    if args.search:
+        trace = SearchTrace()
+        optimizer = DeploymentOptimizer(program, tile_size=tile,
+                                        search_trace=trace)
+        space = build_search_space(args)
+        optimizer.skyline(space)
+        if args.deadline is not None:
+            trace.mark_deadline(args.deadline * 60.0)
+        elif args.budget is not None:
+            trace.mark_budget(args.budget)
+        print(explain_search(trace), file=out)
+        return 0
     compiled = compile_program(program, PhysicalContext(tile))
     if args.dot:
         print(dag_to_dot(compiled.dag, name=program.name), file=out)
@@ -196,11 +257,54 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_metrics(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
+                       args.slots)
+    registry = MetricsRegistry()
+    cost_meter = None
+    if args.budget is not None or args.deadline is not None:
+        deadline = args.deadline * 60.0 if args.deadline is not None else None
+        cost_meter = CostMeter(spec, budget_dollars=args.budget,
+                               deadline_seconds=deadline, registry=registry)
+    compiled = compile_program(program, PhysicalContext(tile),
+                               metrics=registry)
+    estimate = simulate_program(compiled.dag, spec, CumulonCostModel(),
+                                metrics=registry, cost_meter=cost_meter)
+    if args.format == "prom":
+        document = to_prometheus(registry)
+    elif args.format == "json":
+        extra = {"workload": args.workload, "scale": args.scale,
+                 "cluster": spec.describe(),
+                 "makespan_seconds": estimate.seconds}
+        if cost_meter is not None:
+            extra["cost"] = cost_meter.summary()
+        document = metrics_to_json(registry, indent=2, extra=extra)
+    elif args.format == "csv":
+        document = metrics_to_csv(registry)
+    else:
+        document = render_dashboard(registry)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+        except OSError as error:
+            raise ReproError(f"cannot write {args.out}: {error}") from error
+        print(f"wrote {args.format} metrics to {args.out}", file=out)
+    else:
+        print(document, file=out)
+    if cost_meter is not None:
+        print(cost_meter.describe(), file=out)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cumulon reproduction: matrix programs in the cloud.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("catalog", help="print the instance catalog")
@@ -216,6 +320,25 @@ def make_parser() -> argparse.ArgumentParser:
     add_workload_args(explain)
     explain.add_argument("--dot", action="store_true",
                          help="emit Graphviz source instead of text")
+    explain.add_argument("--search", action="store_true",
+                         help="run the deployment optimizer and print every "
+                              "candidate it evaluated")
+    explain.add_argument("--instances", default=None,
+                         help="comma-separated instance types to search "
+                              "(with --search; default: full catalog)")
+    explain.add_argument("--node-counts", dest="node_counts", default=None,
+                         help="comma-separated cluster sizes to search "
+                              "(with --search)")
+    explain.add_argument("--slot-options", dest="slot_options", default=None,
+                         help="comma-separated slots-per-node options "
+                              "(with --search)")
+    explain_group = explain.add_mutually_exclusive_group()
+    explain_group.add_argument("--deadline", type=float, default=None,
+                               help="annotate candidates against a deadline "
+                                    "in minutes (with --search)")
+    explain_group.add_argument("--budget", type=float, default=None,
+                               help="annotate candidates against a budget "
+                                    "in dollars (with --search)")
 
     simulate = subparsers.add_parser(
         "simulate", help="predict wall-clock on one cluster")
@@ -248,6 +371,22 @@ def make_parser() -> argparse.ArgumentParser:
                             "tiny) and report predicted-vs-actual error")
     trace.add_argument("--workers", type=int, default=2,
                        help="thread-pool size for the --diff real run")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="simulate with telemetry on and emit the metrics")
+    add_workload_args(metrics)
+    metrics.add_argument("--instance", default="m1.large")
+    metrics.add_argument("--nodes", type=int, default=8)
+    metrics.add_argument("--slots", type=int, default=2)
+    metrics.add_argument("--format", default="dashboard",
+                         choices=("prom", "json", "csv", "dashboard"))
+    metrics.add_argument("--out", default=None,
+                         help="write metrics to this file instead of stdout")
+    metrics.add_argument("--budget", type=float, default=None,
+                         help="watch spend against this budget in dollars")
+    metrics.add_argument("--deadline", type=float, default=None,
+                         help="watch elapsed time against this deadline "
+                              "in minutes")
     return parser
 
 
@@ -257,6 +396,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "optimize": cmd_optimize,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

@@ -54,6 +54,7 @@ from repro.core.rewrite import reorder_matmul_chains, simplify
 from repro.errors import CompilationError
 from repro.hadoop.job import JobDag
 from repro.matrix.tiled import TileGrid, TiledMatrix
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import NULL_RECORDER, TraceRecorder
 
 
@@ -159,10 +160,12 @@ class Compiler:
 
     def __init__(self, context: PhysicalContext,
                  params: CompilerParams | None = None,
-                 recorder: TraceRecorder = NULL_RECORDER):
+                 recorder: TraceRecorder = NULL_RECORDER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.context = context
         self.params = params if params is not None else CompilerParams()
         self.recorder = recorder
+        self.metrics = metrics
         self._dag = JobDag()
         self._env: dict[str, tuple[MatrixInfo, frozenset[str]]] = {}
         self._materialized: dict[str, MatrixInfo] = {}
@@ -186,6 +189,12 @@ class Compiler:
                                 "compiler"):
             for statement in program.statements:
                 self._compile_statement(statement.target, statement.expr)
+        if self.metrics.enabled:
+            self.metrics.inc("compiler.programs")
+            self.metrics.inc("compiler.statements",
+                             len(program.statements))
+            self.metrics.inc("compiler.jobs", len(self._dag))
+            self.metrics.inc("compiler.tasks", self._dag.num_tasks())
         bindings = {name: info for name, (info, __) in self._env.items()}
         return CompiledProgram(
             program=program,
@@ -470,7 +479,9 @@ class Compiler:
 
 def compile_program(program: Program, context: PhysicalContext,
                     params: CompilerParams | None = None,
-                    recorder: TraceRecorder = NULL_RECORDER
+                    recorder: TraceRecorder = NULL_RECORDER,
+                    metrics: MetricsRegistry = NULL_METRICS
                     ) -> CompiledProgram:
     """Convenience wrapper: compile ``program`` in one call."""
-    return Compiler(context, params, recorder=recorder).compile(program)
+    return Compiler(context, params, recorder=recorder,
+                    metrics=metrics).compile(program)

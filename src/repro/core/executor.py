@@ -19,6 +19,7 @@ from repro.core.program import Program
 from repro.errors import ExecutionError, ValidationError
 from repro.hadoop.local import LocalExecutor, LocalRunReport
 from repro.matrix.tiled import DEFAULT_TILE_SIZE, DenseBacking, TileBacking, TiledMatrix
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import NULL_RECORDER, Trace, TraceRecorder
 
 
@@ -47,12 +48,14 @@ class CumulonExecutor:
                  max_workers: int = 4,
                  params: CompilerParams | None = None,
                  backing: TileBacking | None = None,
-                 recorder: TraceRecorder = NULL_RECORDER):
+                 recorder: TraceRecorder = NULL_RECORDER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.tile_size = tile_size
         self.max_workers = max_workers
         self.params = params if params is not None else CompilerParams()
         self.backing = backing if backing is not None else DenseBacking()
         self.recorder = recorder
+        self.metrics = metrics
 
     def run(self, program: Program,
             inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
@@ -64,9 +67,10 @@ class CumulonExecutor:
         context = PhysicalContext(self.tile_size, self.backing, attach_run=True)
         with recorder.span(f"compile:{program.name}", "executor"):
             compiled = compile_program(program, context, self.params,
-                                       recorder=recorder)
+                                       recorder=recorder,
+                                       metrics=self.metrics)
         executor = LocalExecutor(max_workers=self.max_workers,
-                                 recorder=recorder)
+                                 recorder=recorder, metrics=self.metrics)
         with recorder.span(f"execute:{program.name}", "executor"):
             report = executor.run(compiled.dag)
         with recorder.span(f"collect-outputs:{program.name}", "executor"):

@@ -5,7 +5,8 @@ operator tree — per job: template, task count, bytes in/out, flops, and
 dependencies.  ``dag_to_dot`` emits Graphviz source for papers/notebooks.
 ``explain_plan`` summarizes a deployment plan end to end.  ``explain_trace``
 and ``explain_trace_diff`` do the same for execution traces and
-predicted-vs-actual comparisons.
+predicted-vs-actual comparisons, and ``explain_search`` for the optimizer's
+deployment-space search telemetry.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from repro.core.compiler import CompiledProgram
 from repro.core.plans import DeploymentPlan
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.observability.diff import TraceDiff
+from repro.observability.search import SearchTrace
 from repro.observability.trace import STATUS_SUCCESS, Trace
 
 
@@ -118,6 +120,44 @@ def explain_trace(trace: Trace) -> str:
         for event in sorted(spans, key=lambda item: item.start):
             lines.append(f"    {event.job_id}/{event.task_id}: "
                          f"{event.duration:.3f}s")
+    return "\n".join(lines)
+
+
+def explain_search(trace: SearchTrace) -> str:
+    """Every candidate the deployment optimizer looked at, one per line.
+
+    Candidates print in evaluation order with their predicted time/cost and
+    verdict (frontier / dominated / pruned / skipped, plus feasibility when
+    a constraint solver annotated them); the Pareto frontier, when marked,
+    is listed again at the bottom in full.
+    """
+    evaluated = trace.evaluated()
+    lines = [
+        f"search: {len(trace.records)} candidates "
+        f"({len(evaluated)} priced, {len(trace.pruned())} pruned, "
+        f"{len(trace.skipped())} skipped)"
+    ]
+    for record in trace.records:
+        where = f"{record.instance} x{record.nodes} nodes x{record.slots} slots"
+        label = f"  #{record.index:03d} [{record.origin}] {where}"
+        if record.step is not None:
+            suffix = (f" <- #{record.parent:03d}"
+                      if record.parent is not None else "")
+            label += f" step={record.step}{suffix}"
+        if record.predicted_seconds is None:
+            lines.append(f"{label}: {record.annotation()}")
+            continue
+        label += (f" tile={record.tile_size} matmul={record.matmul}: "
+                  f"{record.predicted_seconds:.1f}s "
+                  f"${record.predicted_cost:.2f}")
+        lines.append(f"{label} [{record.annotation()}]")
+    frontier = trace.frontier_plans()
+    if frontier:
+        lines.append(f"pareto frontier ({len(frontier)} plans):")
+        for plan in frontier:
+            lines.append(f"  {plan.spec.describe()}: "
+                         f"{plan.estimated_seconds:.1f}s "
+                         f"${plan.estimated_cost:.2f}")
     return "\n".join(lines)
 
 

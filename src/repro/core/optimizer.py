@@ -40,6 +40,14 @@ from repro.core.plans import (
 from repro.core.program import Program
 from repro.core.simcost import simulate_program
 from repro.errors import InfeasibleConstraintError, ValidationError
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.search import (
+    NULL_SEARCH_TRACE,
+    ORIGIN_ADHOC,
+    ORIGIN_GRID,
+    ORIGIN_HILL_CLIMB,
+    SearchTrace,
+)
 from repro.observability.trace import NULL_RECORDER, TraceRecorder
 
 #: Default search grid.
@@ -93,7 +101,9 @@ class DeploymentOptimizer:
                  billing: BillingModel | None = None,
                  startup_seconds: float = DEFAULT_STARTUP_SECONDS,
                  locality_aware: bool = True,
-                 recorder: TraceRecorder = NULL_RECORDER):
+                 recorder: TraceRecorder = NULL_RECORDER,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 search_trace: SearchTrace = NULL_SEARCH_TRACE):
         self.program = program
         self.tile_size = tile_size
         self.model = CumulonCostModel(coefficients, cost_config)
@@ -101,8 +111,15 @@ class DeploymentOptimizer:
         self.startup_seconds = startup_seconds
         self.locality_aware = locality_aware
         self.recorder = recorder
+        self.metrics = metrics
+        self.search_trace = search_trace
         self._compiled_cache: dict[tuple[CompilerParams, int],
                                    CompiledProgram] = {}
+        #: Search-context for candidate records (set by the solvers).
+        self._origin = ORIGIN_ADHOC
+        self._step: int | None = None
+        self._parent: int | None = None
+        self._climb_result: DeploymentPlan | None = None
 
     # -- plan evaluation -----------------------------------------------------
 
@@ -112,12 +129,16 @@ class DeploymentOptimizer:
         tile_size = tile_size if tile_size is not None else self.tile_size
         key = (params, tile_size)
         if key not in self._compiled_cache:
+            if self.metrics.enabled:
+                self.metrics.inc("optimizer.compile_cache_misses")
             context = PhysicalContext(tile_size)
             with self.recorder.span(
                     f"compile:tile={tile_size}:{params.matmul}", "optimizer"):
                 self._compiled_cache[key] = compile_program(
                     self.program, context, params
                 )
+        elif self.metrics.enabled:
+            self.metrics.inc("optimizer.compile_cache_hits")
         return self._compiled_cache[key]
 
     def evaluate(self, spec: ClusterSpec, params: CompilerParams,
@@ -130,23 +151,44 @@ class DeploymentOptimizer:
                                         locality_aware=self.locality_aware)
         seconds = estimate.seconds + self.startup_seconds
         cost = self.billing.cost(spec, seconds)
-        return DeploymentPlan(spec, params, seconds, cost,
+        plan = DeploymentPlan(spec, params, seconds, cost,
                               tile_size=tile_size)
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.candidates_evaluated")
+        if self.search_trace.enabled:
+            self.search_trace.add(plan, origin=self._origin,
+                                  step=self._step, parent=self._parent)
+        return plan
 
     def best_params_for(self, spec: ClusterSpec,
                         space: SearchSpace) -> DeploymentPlan:
         """Tune physical parameters and tile size for a fixed cluster spec."""
+        trace = self.search_trace
         best: DeploymentPlan | None = None
+        best_index: int | None = None
         for tile_size in space.tile_sizes_for(self.tile_size):
             for matmul in space.matmul_options:
                 params = CompilerParams(matmul=matmul,
                                         elementwise=space.elementwise)
                 plan = self.evaluate(spec, params, tile_size)
+                index = len(trace) - 1 if trace.enabled else None
                 if (best is None
                         or plan.estimated_seconds < best.estimated_seconds):
-                    best = plan
+                    if best_index is not None:
+                        trace.prune(best_index,
+                                    "slower sibling physical plan")
+                    best, best_index = plan, index
+                elif index is not None:
+                    trace.prune(index, "slower sibling physical plan")
         assert best is not None  # space.matmul_options is non-empty
         return best
+
+    def _set_context(self, origin: str, step: int | None = None,
+                     parent: int | None = None) -> None:
+        """Tag subsequent evaluations for the search trace."""
+        self._origin = origin
+        self._step = step
+        self._parent = parent
 
     # -- exhaustive search -----------------------------------------------------
 
@@ -155,24 +197,38 @@ class DeploymentOptimizer:
         """Evaluate the full grid: every spec with its best physical params."""
         space = space if space is not None else SearchSpace()
         plans = []
-        with self.recorder.span("grid-search", "optimizer"):
-            for instance in space.instance_types:
-                for num_nodes in space.node_counts:
-                    for slots in space.slots_for(instance):
-                        spec = ClusterSpec(instance, num_nodes, slots)
-                        plans.append(self.best_params_for(spec, space))
+        self._set_context(ORIGIN_GRID)
+        try:
+            with self.recorder.span("grid-search", "optimizer"):
+                for instance in space.instance_types:
+                    for num_nodes in space.node_counts:
+                        for slots in space.slots_for(instance):
+                            spec = ClusterSpec(instance, num_nodes, slots)
+                            plans.append(self.best_params_for(spec, space))
+        finally:
+            self._set_context(ORIGIN_ADHOC)
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.grid_searches")
+            self.metrics.set_gauge("optimizer.grid_plans", len(plans))
         return plans
 
     def skyline(self, space: SearchSpace | None = None) -> list[DeploymentPlan]:
-        return skyline(self.enumerate_plans(space))
+        frontier = skyline(self.enumerate_plans(space))
+        if self.search_trace.enabled:
+            self.search_trace.mark_frontier(frontier)
+        if self.metrics.enabled:
+            self.metrics.set_gauge("optimizer.frontier_size", len(frontier))
+        return frontier
 
     def minimize_cost_under_deadline(self, deadline_seconds: float,
                                      space: SearchSpace | None = None
                                      ) -> DeploymentPlan:
         if deadline_seconds <= 0:
             raise ValidationError("deadline must be positive")
-        plan = cheapest_within_deadline(self.enumerate_plans(space),
-                                        deadline_seconds)
+        plans = self.enumerate_plans(space)
+        if self.search_trace.enabled:
+            self.search_trace.mark_deadline(deadline_seconds)
+        plan = cheapest_within_deadline(plans, deadline_seconds)
         if plan is None:
             raise InfeasibleConstraintError(
                 f"no deployment finishes within {deadline_seconds:.0f}s"
@@ -184,8 +240,10 @@ class DeploymentOptimizer:
                                    ) -> DeploymentPlan:
         if budget_dollars <= 0:
             raise ValidationError("budget must be positive")
-        plan = fastest_within_budget(self.enumerate_plans(space),
-                                     budget_dollars)
+        plans = self.enumerate_plans(space)
+        if self.search_trace.enabled:
+            self.search_trace.mark_budget(budget_dollars)
+        plan = fastest_within_budget(plans, budget_dollars)
         if plan is None:
             raise InfeasibleConstraintError(
                 f"no deployment costs at most ${budget_dollars:.2f}"
@@ -212,6 +270,10 @@ class DeploymentOptimizer:
         with self.recorder.span("hill-climb", "optimizer"):
             current = self._hill_climb(deadline_seconds, space, seed_spec,
                                        max_steps)
+        if self.search_trace.enabled:
+            self.search_trace.mark_deadline(deadline_seconds)
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.hill_climbs")
         if current.estimated_seconds > deadline_seconds:
             raise InfeasibleConstraintError(
                 f"hill climbing found no plan within {deadline_seconds:.0f}s"
@@ -220,35 +282,71 @@ class DeploymentOptimizer:
 
     def _hill_climb(self, deadline_seconds: float, space: SearchSpace,
                     seed_spec: ClusterSpec, max_steps: int) -> DeploymentPlan:
-        current = self.best_params_for(seed_spec, space)
-        visited = {self._spec_key(seed_spec)}
-        for __ in range(max_steps):
-            candidates = []
-            for neighbor in self._neighbors(current.spec, space):
-                key = self._spec_key(neighbor)
-                if key in visited:
-                    continue
-                visited.add(key)
-                candidates.append(self.best_params_for(neighbor, space))
-            feasible = [plan for plan in candidates
-                        if plan.estimated_seconds <= deadline_seconds]
-            current_feasible = current.estimated_seconds <= deadline_seconds
-            if current_feasible:
-                better = [plan for plan in feasible
-                          if plan.estimated_cost < current.estimated_cost]
-                if not better:
+        trace = self.search_trace
+        self._set_context(ORIGIN_HILL_CLIMB, step=0)
+        try:
+            current = self.best_params_for(seed_spec, space)
+            self._climb_result = current
+            current_index = trace.index_of(current) if trace.enabled else None
+            visited = {self._spec_key(seed_spec)}
+            for step in range(1, max_steps + 1):
+                candidates = []
+                for neighbor in self._neighbors(current.spec, space):
+                    key = self._spec_key(neighbor)
+                    if key in visited:
+                        if trace.enabled:
+                            trace.add_skipped(
+                                neighbor.instance_type.name,
+                                neighbor.num_nodes,
+                                neighbor.slots_per_node,
+                                reason="already visited",
+                                origin=ORIGIN_HILL_CLIMB,
+                                step=step, parent=current_index)
+                        continue
+                    visited.add(key)
+                    self._set_context(ORIGIN_HILL_CLIMB, step=step,
+                                      parent=current_index)
+                    candidates.append(self.best_params_for(neighbor, space))
+                current = self._climb_step(current, candidates,
+                                           deadline_seconds)
+                if current is None:
                     break
-                current = min(better, key=lambda plan: plan.estimated_cost)
-            else:
-                # Not yet feasible: chase time downwards.
-                if not candidates:
-                    break
-                fastest = min(candidates,
-                              key=lambda plan: plan.estimated_seconds)
-                if fastest.estimated_seconds >= current.estimated_seconds:
-                    break
-                current = fastest
-        return current
+                if trace.enabled:
+                    current_index = trace.index_of(current)
+            return self._climb_result
+        finally:
+            self._set_context(ORIGIN_ADHOC)
+
+    def _climb_step(self, current: DeploymentPlan,
+                    candidates: list[DeploymentPlan],
+                    deadline_seconds: float) -> DeploymentPlan | None:
+        """One greedy move; returns the new current plan, or None to stop.
+
+        The chosen plan (current if the climb stops) is also stored on
+        ``self._climb_result`` so ``_hill_climb`` can return it after a
+        ``None`` (terminate) verdict.
+        """
+        self._climb_result = current
+        feasible = [plan for plan in candidates
+                    if plan.estimated_seconds <= deadline_seconds]
+        current_feasible = current.estimated_seconds <= deadline_seconds
+        if current_feasible:
+            better = [plan for plan in feasible
+                      if plan.estimated_cost < current.estimated_cost]
+            if not better:
+                return None
+            chosen = min(better, key=lambda plan: plan.estimated_cost)
+        else:
+            # Not yet feasible: chase time downwards.
+            if not candidates:
+                return None
+            fastest = min(candidates,
+                          key=lambda plan: plan.estimated_seconds)
+            if fastest.estimated_seconds >= current.estimated_seconds:
+                return None
+            chosen = fastest
+        self._climb_result = chosen
+        return chosen
 
     @staticmethod
     def _spec_key(spec: ClusterSpec) -> tuple[str, int, int]:

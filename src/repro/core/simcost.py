@@ -20,6 +20,8 @@ from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.simulator import ClusterSimulator, SimulationResult
 from repro.hadoop.timemodel import TaskTimeModel
 from repro.hdfs.tilestore import TileStore
+from repro.observability.cost import CostMeter
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import NULL_RECORDER, TraceRecorder
 from repro.matrix.tile import TileId
 
@@ -44,15 +46,22 @@ class ProgramEstimate:
 
 def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
                      locality_aware: bool = True,
-                     recorder: TraceRecorder = NULL_RECORDER
+                     recorder: TraceRecorder = NULL_RECORDER,
+                     metrics: MetricsRegistry = NULL_METRICS,
+                     cost_meter: CostMeter | None = None
                      ) -> ProgramEstimate:
     """Estimate wall-clock of ``dag`` on ``spec`` by event simulation.
 
     Pass an :class:`~repro.observability.trace.InMemoryRecorder` to capture
-    the predicted per-task trace alongside the aggregate estimate.
+    the predicted per-task trace alongside the aggregate estimate, a
+    :class:`~repro.observability.metrics.MetricsRegistry` for time-series
+    metrics on the virtual clock, and/or a
+    :class:`~repro.observability.cost.CostMeter` to watch dollars accrue
+    (and budgets blow) live during the simulation.
     """
     simulator = ClusterSimulator(spec, model, locality_aware=locality_aware,
-                                 recorder=recorder)
+                                 recorder=recorder, metrics=metrics,
+                                 cost_meter=cost_meter)
     result = simulator.run(dag)
     job_seconds = {job_id: timeline.duration
                    for job_id, timeline in result.job_timelines.items()}

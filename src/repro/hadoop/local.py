@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
 from repro.hadoop.job import Job, JobDag
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import (
     NULL_RECORDER,
     STATUS_FAILED,
@@ -85,11 +86,13 @@ class LocalExecutor:
     """Executes job DAGs with real computation on a thread pool."""
 
     def __init__(self, max_workers: int = 4,
-                 recorder: TraceRecorder = NULL_RECORDER):
+                 recorder: TraceRecorder = NULL_RECORDER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         if max_workers <= 0:
             raise ExecutionError("max_workers must be positive")
         self.max_workers = max_workers
         self.recorder = recorder
+        self.metrics = metrics
 
     def run(self, dag: JobDag) -> LocalRunReport:
         """Execute all jobs in dependency order; returns timing report."""
@@ -113,6 +116,9 @@ class LocalExecutor:
         self._run_phase(job, job.map_tasks, slots)
         self._run_phase(job, job.reduce_tasks, slots)
         elapsed = time.perf_counter() - started
+        if self.metrics.enabled:
+            self.metrics.inc("local.jobs_completed")
+            self.metrics.observe("local.job_seconds", elapsed)
         return LocalJobReport(job.job_id, elapsed, job.num_tasks)
 
     def _run_phase(self, job: Job, tasks, slots: _SlotPool) -> None:
@@ -137,7 +143,14 @@ class LocalExecutor:
 
     def _invoke(self, job: Job, task, slots: _SlotPool) -> None:
         recorder = self.recorder
+        metrics = self.metrics
         slot = slots.acquire()
+        if metrics.enabled:
+            inflight = metrics.gauge("local.inflight_tasks")
+            inflight.add(1)
+            # Series and gauge kinds cannot share a name in one registry.
+            metrics.sample("local.inflight_tasks.samples", inflight.value)
+            started_wall = metrics.now()
         start = recorder.now() if recorder.enabled else 0.0
         status = STATUS_SUCCESS
         try:
@@ -148,6 +161,19 @@ class LocalExecutor:
                 f"task {task.task_id} of job {job.job_id} failed: {exc}"
             ) from exc
         finally:
+            if metrics.enabled:
+                inflight = metrics.gauge("local.inflight_tasks")
+                inflight.add(-1)
+                metrics.sample("local.inflight_tasks.samples", inflight.value)
+                metrics.observe("local.task_seconds",
+                                metrics.now() - started_wall)
+                if status == STATUS_SUCCESS:
+                    metrics.inc("local.tasks_completed")
+                    metrics.inc("local.bytes_read", task.work.bytes_read)
+                    metrics.inc("local.bytes_written",
+                                task.work.bytes_written)
+                else:
+                    metrics.inc("local.task_failures")
             if recorder.enabled:
                 recorder.record(TraceEvent(
                     job_id=job.job_id,

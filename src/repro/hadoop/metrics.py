@@ -36,9 +36,13 @@ class UtilizationReport:
         return self.total_slot_seconds - self.busy_slot_seconds
 
     def most_loaded_node(self) -> str:
+        if not self.per_node_busy:
+            raise ValidationError("utilization report has no nodes")
         return max(self.per_node_busy, key=self.per_node_busy.get)
 
     def least_loaded_node(self) -> str:
+        if not self.per_node_busy:
+            raise ValidationError("utilization report has no nodes")
         return min(self.per_node_busy, key=self.per_node_busy.get)
 
 

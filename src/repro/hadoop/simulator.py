@@ -39,6 +39,8 @@ from repro.hadoop.faults import FailureModel
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.task import Task, TaskAttempt, TaskKind
 from repro.hadoop.timemodel import TaskTimeModel
+from repro.observability.cost import CostMeter
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import (
     NULL_RECORDER,
     PHASE_SHUFFLE,
@@ -196,7 +198,9 @@ class ClusterSimulator:
                  speculative: bool = False,
                  slow_nodes: dict[str, float] | None = None,
                  scheduling: str = FIFO,
-                 recorder: TraceRecorder = NULL_RECORDER):
+                 recorder: TraceRecorder = NULL_RECORDER,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 cost_meter: CostMeter | None = None):
         if scheduling not in (FIFO, FAIR):
             raise ValidationError(
                 f"scheduling must be {FIFO!r} or {FAIR!r}, got {scheduling!r}"
@@ -208,6 +212,8 @@ class ClusterSimulator:
         self.speculative = speculative
         self.scheduling = scheduling
         self.recorder = recorder
+        self.metrics = metrics
+        self.cost_meter = cost_meter
         self.slow_nodes = dict(slow_nodes or {})
         for name, factor in self.slow_nodes.items():
             if factor < 1.0:
@@ -228,6 +234,8 @@ class ClusterSimulator:
 
         #: jobs whose dependencies are satisfied and that have runnable tasks
         runnable: list[str] = []
+        metrics = self.metrics
+        cost_meter = self.cost_meter
         self._clock = start_time
         self._next_spec_check = float("inf")
         events: list[tuple[float, int, str, object]] = []
@@ -268,6 +276,11 @@ class ClusterSimulator:
                     f"time model returned non-positive duration {duration} "
                     f"for task {task.task_id}"
                 )
+            if metrics.enabled:
+                metrics.inc("sim.tasks_started")
+                if task.preferred_nodes:
+                    metrics.inc("sim.locality_local" if local
+                                else "sim.locality_remote")
             fraction = None
             if self.failures is not None:
                 fraction = self.failures.failure_fraction(task.task_id,
@@ -392,6 +405,8 @@ class ClusterSimulator:
                     if node is None:
                         continue
                     target.speculated = True
+                    if metrics.enabled:
+                        metrics.inc("sim.speculative_launches")
                     start_attempt(state, target.task, node)
                     progress = True
                     break
@@ -421,6 +436,8 @@ class ClusterSimulator:
 
         def finish_job(state: _JobState) -> None:
             state.finished_at = self._clock
+            if metrics.enabled:
+                metrics.inc("sim.jobs_completed")
             for deps in remaining_deps.values():
                 deps.discard(state.job.job_id)
             if state.job.job_id in runnable:
@@ -451,11 +468,19 @@ class ClusterSimulator:
                     state.attempts.append(killed)
                     emit_attempt_event(state, attempt, slot, attempt_index,
                                        KILLED, self._clock)
+                    if metrics.enabled:
+                        metrics.inc("sim.tasks_killed")
                 else:
                     task_state.running.pop(token, None)
                     state.attempts.append(attempt)
                     emit_attempt_event(state, attempt, slot, attempt_index,
                                        SUCCESS, attempt.end)
+                    if metrics.enabled:
+                        metrics.inc("sim.tasks_completed")
+                        work = attempt.task.work
+                        metrics.inc("sim.bytes_read", work.bytes_read)
+                        metrics.inc("sim.bytes_written", work.bytes_written)
+                        metrics.observe("sim.task_seconds", attempt.duration)
                     if not task_state.completed:
                         complete_task(state, attempt)
             elif kind == "task-failed":
@@ -473,9 +498,13 @@ class ClusterSimulator:
                         status=KILLED))
                     emit_attempt_event(state, attempt, slot, attempt_index,
                                        KILLED, self._clock)
+                    if metrics.enabled:
+                        metrics.inc("sim.tasks_killed")
                 else:
                     emit_attempt_event(state, attempt, slot, attempt_index,
                                        FAILED, attempt.end)
+                    if metrics.enabled:
+                        metrics.inc("sim.task_failures")
                     task_state.running.pop(token, None)
                     state.attempts.append(attempt)
                     if not task_state.completed:
@@ -502,6 +531,19 @@ class ClusterSimulator:
             else:  # pragma: no cover - defensive
                 raise SchedulingError(f"unknown event kind {kind!r}")
             dispatch()
+            if cost_meter is not None:
+                cost_meter.observe(self._clock)
+            if metrics.enabled:
+                metrics.sample("sim.running_slots",
+                               sum(node.busy for node in nodes),
+                               t=self._clock)
+                metrics.sample(
+                    "sim.queue_depth",
+                    sum(len(state.pending_maps)
+                        + len(state.pending_reduces)
+                        for state in states.values()),
+                    t=self._clock,
+                )
 
         unfinished = [job_id for job_id, state in states.items()
                       if state.finished_at is None]
@@ -543,6 +585,9 @@ class ClusterSimulator:
                      * self.spec.instance_type.network_bandwidth)
         seconds = self.time_model.shuffle_duration(state.job, bandwidth)
         state.shuffle_seconds = seconds
+        if self.metrics.enabled:
+            self.metrics.inc("sim.shuffles")
+            self.metrics.inc("sim.shuffle_bytes", state.job.shuffle_bytes)
         if self.recorder.enabled:
             self.recorder.record(TraceEvent(
                 job_id=state.job.job_id,

@@ -12,14 +12,22 @@ from repro.errors import FileNotFoundInHDFSError, StorageError
 from repro.hdfs.namenode import NameNode
 from repro.matrix.tile import Tile, TileId
 from repro.matrix.tiled import TileBacking
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 
 
 class TileStore(TileBacking):
-    """Tile backing that persists tiles as files in a (simulated) HDFS."""
+    """Tile backing that persists tiles as files in a (simulated) HDFS.
 
-    def __init__(self, namenode: NameNode, root: str = "/matrices"):
+    With a recording :class:`MetricsRegistry`, the store counts tile hits
+    and misses, HDFS block reads, and bytes moved — the storage-side
+    telemetry behind locality and caching experiments.
+    """
+
+    def __init__(self, namenode: NameNode, root: str = "/matrices",
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.namenode = namenode
         self.root = root.rstrip("/")
+        self.metrics = metrics
 
     def path_for(self, tile_id: TileId) -> str:
         return f"{self.root}/{tile_id.key()}"
@@ -28,9 +36,21 @@ class TileStore(TileBacking):
 
     def get(self, tile_id: TileId) -> Tile:
         path = self.path_for(tile_id)
-        payload = self.namenode.read(path)
+        try:
+            payload = self.namenode.read(path)
+        except FileNotFoundInHDFSError:
+            if self.metrics.enabled:
+                self.metrics.inc("tilestore.misses")
+            raise
         if not isinstance(payload, Tile):
+            if self.metrics.enabled:
+                self.metrics.inc("tilestore.misses")
             raise StorageError(f"path {path} does not hold a tile")
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.hits")
+            self.metrics.inc("tilestore.bytes_read", payload.nbytes())
+            self.metrics.inc("tilestore.block_reads",
+                             len(self.namenode.block_infos(path)))
         return payload
 
     def put(self, tile: Tile, writer: str | None = None) -> None:
@@ -39,6 +59,9 @@ class TileStore(TileBacking):
         if self.namenode.exists(path):
             self.namenode.delete(path)
         self.namenode.create(path, tile.nbytes(), payload=tile, writer=writer)
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.puts")
+            self.metrics.inc("tilestore.bytes_written", tile.nbytes())
 
     def put_virtual(self, tile_id: TileId, nbytes: int,
                     writer: str | None = None) -> None:
@@ -52,6 +75,8 @@ class TileStore(TileBacking):
         if self.namenode.exists(path):
             self.namenode.delete(path)
         self.namenode.create(path, nbytes, payload=None, writer=writer)
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.virtual_puts")
 
     # -- storage-aware queries ---------------------------------------------------
 
@@ -64,6 +89,8 @@ class TileStore(TileBacking):
     def replica_nodes(self, tile_id: TileId) -> set[str]:
         """Datanodes holding a full replica of this tile."""
         path = self.path_for(tile_id)
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.replica_queries")
         try:
             infos = self.namenode.block_infos(path)
         except FileNotFoundInHDFSError:

@@ -11,6 +11,13 @@ Tracing is off by default — every emission site takes a
 no-ops — so the hot paths pay nothing unless a caller opts in.
 """
 
+from repro.observability.cost import (
+    COST_SERIES,
+    OVERRUN_BUDGET,
+    OVERRUN_DEADLINE,
+    CostMeter,
+    CostOverrun,
+)
 from repro.observability.diff import JobDiff, TaskDiff, TraceDiff, trace_diff
 from repro.observability.export import (
     CSV_COLUMNS,
@@ -21,6 +28,33 @@ from repro.observability.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_csv,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    TimeSeries,
+)
+from repro.observability.metrics_export import (
+    METRICS_CSV_COLUMNS,
+    escape_label_value,
+    metrics_to_csv,
+    metrics_to_json,
+    render_dashboard,
+    render_series,
+    render_sparkline,
+    to_prometheus,
+    write_metrics,
+)
+from repro.observability.search import (
+    NULL_SEARCH_TRACE,
+    CandidateRecord,
+    NullSearchTrace,
+    SearchTrace,
 )
 from repro.observability.trace import (
     NULL_RECORDER,
@@ -44,11 +78,27 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "COST_SERIES",
     "CSV_COLUMNS",
+    "CandidateRecord",
+    "CostMeter",
+    "CostOverrun",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
     "InMemoryRecorder",
     "JobDiff",
+    "METRICS_CSV_COLUMNS",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "NULL_RECORDER",
+    "NULL_SEARCH_TRACE",
+    "NullMetricsRegistry",
     "NullRecorder",
+    "NullSearchTrace",
+    "OVERRUN_BUDGET",
+    "OVERRUN_DEADLINE",
     "PHASE_JOB",
     "PHASE_MAP",
     "PHASE_REDUCE",
@@ -60,18 +110,28 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_KILLED",
     "STATUS_SUCCESS",
+    "SearchTrace",
     "TASK_PHASES",
     "TaskDiff",
+    "TimeSeries",
     "Trace",
     "TraceDiff",
     "TraceEvent",
     "TraceRecorder",
     "chrome_trace_json",
+    "escape_label_value",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "render_dashboard",
+    "render_series",
+    "render_sparkline",
     "structural_summary",
     "to_chrome_events",
     "to_csv",
+    "to_prometheus",
     "trace_diff",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_csv",
+    "write_metrics",
 ]

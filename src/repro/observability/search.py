@@ -1,0 +1,292 @@
+"""Search-space telemetry for the deployment optimizer.
+
+``DeploymentOptimizer`` evaluates hundreds of candidate deployments and
+returns one winner; a :class:`SearchTrace` keeps the rest of the story.
+Every candidate ``(instance type, node count, slots, tile size, physical
+params)`` the optimizer prices becomes one :class:`CandidateRecord` with
+its predicted time/cost, how it fared (kept, pruned, skipped), why, whether
+it sits on the Pareto frontier, and — for hill climbing — which candidate
+it was expanded from and at which step, so the whole search is replayable
+and explainable (``repro explain --search``).
+
+The usual null-object pattern applies: producers default to
+:data:`NULL_SEARCH_TRACE` and gate recording on ``trace.enabled``, so the
+optimizer pays one attribute check when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # import would be circular at runtime (core -> observability)
+    from repro.core.plans import DeploymentPlan
+
+#: Candidate statuses.
+STATUS_EVALUATED = "evaluated"  # priced, survived per-spec tuning
+STATUS_PRUNED = "pruned"        # priced, beaten by a sibling on its spec
+STATUS_SKIPPED = "skipped"      # never priced (e.g. hill-climb revisits)
+
+#: Candidate origins.
+ORIGIN_GRID = "grid"
+ORIGIN_HILL_CLIMB = "hill-climb"
+ORIGIN_ADHOC = "adhoc"
+
+
+def format_matmul(matmul) -> str:
+    """Compact ``ixjxk`` rendering of split factors."""
+    return (f"{matmul.tiles_per_task_i}x{matmul.tiles_per_task_j}"
+            f"x{matmul.k_splits}")
+
+
+@dataclass
+class CandidateRecord:
+    """One point the optimizer looked at in the deployment space."""
+
+    index: int
+    origin: str
+    instance: str
+    nodes: int
+    slots: int
+    tile_size: int
+    matmul: str
+    predicted_seconds: float | None = None
+    predicted_cost: float | None = None
+    status: str = STATUS_EVALUATED
+    reason: str = ""
+    #: None until a constraint solver annotated it; then the verdict.
+    feasible: bool | None = None
+    on_frontier: bool = False
+    #: Hill-climb lineage: which step produced this candidate, and the
+    #: record index of the plan it was expanded from (None for seeds/grid).
+    step: int | None = None
+    parent: int | None = None
+    #: The priced plan itself (None for skipped candidates).
+    plan: DeploymentPlan | None = field(default=None, repr=False)
+
+    def annotation(self) -> str:
+        """The one-word-ish verdict ``explain_search`` prints."""
+        if self.status == STATUS_SKIPPED:
+            return f"skipped ({self.reason})" if self.reason else "skipped"
+        if self.status == STATUS_PRUNED:
+            return f"pruned ({self.reason})" if self.reason else "pruned"
+        parts = []
+        if self.on_frontier:
+            parts.append("frontier")
+        elif self.reason:
+            parts.append(self.reason)
+        if self.feasible is True:
+            parts.append("feasible")
+        elif self.feasible is False:
+            parts.append("infeasible")
+        return ", ".join(parts) if parts else "kept"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "origin": self.origin,
+            "instance": self.instance,
+            "nodes": self.nodes,
+            "slots": self.slots,
+            "tile_size": self.tile_size,
+            "matmul": self.matmul,
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_cost": self.predicted_cost,
+            "status": self.status,
+            "reason": self.reason,
+            "feasible": self.feasible,
+            "on_frontier": self.on_frontier,
+            "step": self.step,
+            "parent": self.parent,
+        }
+
+
+class SearchTrace:
+    """Accumulates candidate records across one or more optimizer searches."""
+
+    enabled = True
+
+    def __init__(self):
+        self.records: list[CandidateRecord] = []
+        self._frontier: list[DeploymentPlan] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- recording (called by the optimizer) ---------------------------------
+
+    def add(self, plan: DeploymentPlan, origin: str = ORIGIN_ADHOC,
+            step: int | None = None,
+            parent: int | None = None) -> CandidateRecord:
+        record = CandidateRecord(
+            index=len(self.records),
+            origin=origin,
+            instance=plan.spec.instance_type.name,
+            nodes=plan.spec.num_nodes,
+            slots=plan.spec.slots_per_node,
+            tile_size=plan.tile_size,
+            matmul=format_matmul(plan.compiler_params.matmul),
+            predicted_seconds=plan.estimated_seconds,
+            predicted_cost=plan.estimated_cost,
+            step=step,
+            parent=parent,
+            plan=plan,
+        )
+        self.records.append(record)
+        return record
+
+    def add_skipped(self, instance: str, nodes: int, slots: int,
+                    reason: str, origin: str = ORIGIN_ADHOC,
+                    step: int | None = None,
+                    parent: int | None = None) -> CandidateRecord:
+        """Record a candidate the search declined to price (with why)."""
+        record = CandidateRecord(
+            index=len(self.records),
+            origin=origin,
+            instance=instance,
+            nodes=nodes,
+            slots=slots,
+            tile_size=0,
+            matmul="",
+            status=STATUS_SKIPPED,
+            reason=reason,
+            step=step,
+            parent=parent,
+        )
+        self.records.append(record)
+        return record
+
+    def prune(self, index: int, reason: str) -> None:
+        record = self.records[index]
+        record.status = STATUS_PRUNED
+        record.reason = reason
+
+    def index_of(self, plan: DeploymentPlan) -> int | None:
+        """Record index of the most recent non-skipped record for ``plan``."""
+        for record in reversed(self.records):
+            if record.plan is not None and record.plan == plan:
+                return record.index
+        return None
+
+    def mark_frontier(self, frontier: list[DeploymentPlan]) -> None:
+        """Flag frontier membership; non-frontier survivors get a reason."""
+        self._frontier = list(frontier)
+        remaining = list(frontier)
+        for record in self.records:
+            if record.plan is None or record.status != STATUS_EVALUATED:
+                continue
+            if record.plan in remaining:
+                record.on_frontier = True
+                remaining.remove(record.plan)
+            elif not record.reason:
+                record.reason = "dominated"
+
+    def mark_deadline(self, deadline_seconds: float) -> None:
+        """Annotate surviving candidates against a deadline constraint."""
+        if deadline_seconds <= 0:
+            raise ValidationError("deadline must be positive")
+        for record in self.records:
+            if record.status == STATUS_EVALUATED \
+                    and record.predicted_seconds is not None:
+                record.feasible = (record.predicted_seconds
+                                   <= deadline_seconds)
+                if not record.feasible and not record.reason:
+                    record.reason = (f"exceeds {deadline_seconds:.0f}s "
+                                     "deadline")
+
+    def mark_budget(self, budget_dollars: float) -> None:
+        """Annotate surviving candidates against a budget constraint."""
+        if budget_dollars <= 0:
+            raise ValidationError("budget must be positive")
+        for record in self.records:
+            if record.status == STATUS_EVALUATED \
+                    and record.predicted_cost is not None:
+                record.feasible = record.predicted_cost <= budget_dollars
+                if not record.feasible and not record.reason:
+                    record.reason = (f"exceeds ${budget_dollars:.2f} budget")
+
+    # -- queries -------------------------------------------------------------
+
+    def evaluated(self) -> list[CandidateRecord]:
+        """Records that were actually priced (kept or pruned)."""
+        return [r for r in self.records if r.status != STATUS_SKIPPED]
+
+    def kept(self) -> list[CandidateRecord]:
+        return [r for r in self.records if r.status == STATUS_EVALUATED]
+
+    def pruned(self) -> list[CandidateRecord]:
+        return [r for r in self.records if r.status == STATUS_PRUNED]
+
+    def skipped(self) -> list[CandidateRecord]:
+        return [r for r in self.records if r.status == STATUS_SKIPPED]
+
+    def frontier_plans(self) -> list[DeploymentPlan]:
+        """The Pareto frontier exactly as the optimizer computed it."""
+        return list(self._frontier)
+
+    def frontier_records(self) -> list[CandidateRecord]:
+        return [r for r in self.records if r.on_frontier]
+
+    def best_record(self) -> CandidateRecord | None:
+        """Cheapest surviving feasible candidate (or cheapest overall)."""
+        pool = [r for r in self.kept() if r.feasible is not False]
+        if not pool:
+            pool = self.kept()
+        if not pool:
+            return None
+        return min(pool, key=lambda r: (r.predicted_cost,
+                                        r.predicted_seconds))
+
+    def lineage(self, index: int) -> list[CandidateRecord]:
+        """Hill-climb ancestry of a record, root first."""
+        chain: list[CandidateRecord] = []
+        seen: set[int] = set()
+        current: int | None = index
+        while current is not None and current not in seen:
+            seen.add(current)
+            record = self.records[current]
+            chain.append(record)
+            current = record.parent
+        chain.reverse()
+        return chain
+
+    def to_dicts(self) -> list[dict]:
+        return [record.to_dict() for record in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._frontier = []
+
+
+class NullSearchTrace(SearchTrace):
+    """Discards everything; the optimizer's default."""
+
+    enabled = False
+
+    def add(self, plan, origin=ORIGIN_ADHOC, step=None, parent=None):
+        return CandidateRecord(index=-1, origin=origin, instance="",
+                               nodes=0, slots=0, tile_size=0, matmul="")
+
+    def add_skipped(self, instance, nodes, slots, reason,
+                    origin=ORIGIN_ADHOC, step=None, parent=None):
+        return CandidateRecord(index=-1, origin=origin, instance=instance,
+                               nodes=nodes, slots=slots, tile_size=0,
+                               matmul="", status=STATUS_SKIPPED)
+
+    def prune(self, index, reason):
+        pass
+
+    def mark_frontier(self, frontier):
+        pass
+
+    def mark_deadline(self, deadline_seconds):
+        pass
+
+    def mark_budget(self, budget_dollars):
+        pass
+
+
+#: Shared default instance (stateless, so sharing is safe).
+NULL_SEARCH_TRACE = NullSearchTrace()

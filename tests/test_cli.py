@@ -113,6 +113,78 @@ class TestTrace:
             target.read_text(encoding="utf-8")) > 0
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        assert text.startswith("repro ")
+        assert repro.__version__ in text
+
+
+class TestMetricsCommand:
+    def test_dashboard_output(self):
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--nodes", "2")
+        assert code == 0
+        assert "counters & gauges" in text
+        assert "sim.tasks_completed" in text
+        assert "time series" in text
+
+    def test_prometheus_output(self):
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--format", "prom")
+        assert code == 0
+        assert "# TYPE sim_tasks_completed_total counter" in text
+
+    def test_json_output_includes_context(self):
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--format", "json")
+        assert code == 0
+        document = json.loads(text)
+        assert document["workload"] == "multiply"
+        assert document["makespan_seconds"] > 0
+        assert document["counters"]
+
+    def test_csv_output(self):
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--format", "csv")
+        assert code == 0
+        assert text.splitlines()[0] == "kind,name,labels,field,t,value"
+
+    def test_budget_reports_cost_meter(self):
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--budget", "0.01", "--format", "json")
+        assert code == 0
+        assert "cost meter" in text
+        assert "OVER" in text
+
+    def test_out_writes_file(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        code, text = run_cli("metrics", "multiply", "--scale", "tiny",
+                             "--format", "json", "--out", str(target))
+        assert code == 0
+        assert json.loads(target.read_text(encoding="utf-8"))["counters"]
+
+
+class TestExplainSearchFlag:
+    def test_search_prints_candidates(self):
+        code, text = run_cli("explain", "multiply", "--scale", "tiny",
+                             "--search", "--instances", "m1.large",
+                             "--node-counts", "2", "--slot-options", "2")
+        assert code == 0
+        assert "candidates" in text
+        assert "pareto frontier" in text
+
+    def test_bad_list_value_fails_cleanly(self):
+        code, __ = run_cli("explain", "multiply", "--scale", "tiny",
+                           "--search", "--node-counts", "two")
+        assert code == 1
+
+
 class TestWorkloadRegistry:
     @pytest.mark.parametrize("name", ["multiply", "gnmf", "rsvd",
                                       "regression", "pagerank", "logistic",

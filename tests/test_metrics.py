@@ -6,6 +6,7 @@ from repro.cloud import ClusterSpec, get_instance_type
 from repro.errors import ValidationError
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.metrics import (
+    UtilizationReport,
     render_timeline,
     straggler_report,
     utilization,
@@ -55,6 +56,13 @@ class TestUtilization:
         report = utilization(result)
         assert report.per_node_busy[report.most_loaded_node()] \
             >= report.per_node_busy[report.least_loaded_node()]
+
+    def test_loaded_nodes_on_empty_report_raise_cleanly(self):
+        report = UtilizationReport(0.0, 0.0, 0.0, {})
+        with pytest.raises(ValidationError, match="no nodes"):
+            report.most_loaded_node()
+        with pytest.raises(ValidationError, match="no nodes"):
+            report.least_loaded_node()
 
 
 class TestStragglers:
