@@ -7,15 +7,31 @@ speculative execution recover.  Expected shape: failure overhead grows
 roughly linearly in the failure rate (each failure wastes half an attempt
 plus a reschedule); with one 8x-slow node, speculation recovers most of the
 straggler tail at the price of a few killed duplicate attempts.
+
+(c) and (d) exercise *node-level* faults through the chaos harness: a
+single node crash and a correlated spot-revocation wave on GNMF, each
+priced under both recovery modes.  ``resume`` (finished jobs checkpointed
+to replicated HDFS, the run degrades onto survivors) should beat
+``restart`` (no usable intermediate state, full rerun on the smaller
+cluster) on time and dollars.
 """
 
 from repro.cloud import ClusterSpec, get_instance_type
+from repro.cloud.spot import SpotMarket
+from repro.core.advisor import advise_checkpoint_interval
+from repro.core.chaos import (
+    RECOVERY_RESTART,
+    RECOVERY_RESUME,
+    SCENARIO_NODE_CRASH,
+    SCENARIO_REVOCATION_WAVE,
+    run_chaos,
+)
 from repro.core.compiler import compile_program
 from repro.core.costmodel import CumulonCostModel
 from repro.core.physical import PhysicalContext
 from repro.hadoop.faults import RandomFailures
 from repro.hadoop.simulator import ClusterSimulator, FAILED, KILLED
-from repro.workloads import build_multiply_program
+from repro.workloads import build_gnmf_program, build_multiply_program
 
 from benchmarks.common import Table, report
 
@@ -77,6 +93,87 @@ def test_e13a_failure_overhead(benchmark):
     assert all(a <= b + 0.02 for a, b in zip(slowdowns, slowdowns[1:]))
     assert slowdowns[-1] < 2.0
     assert rows[-1][2] > rows[1][2]
+
+
+def gnmf_chaos(scenario, seed=7):
+    """Run tiny GNMF under ``scenario`` in both recovery modes."""
+    program = build_gnmf_program(1024, 512, 128, iterations=3)
+    dag = compile_program(program, PhysicalContext(256)).dag
+    inputs = {f"/input/{name}": var.shape[0] * var.shape[1] * 8
+              for name, var in program.inputs.items()}
+    model = CumulonCostModel()
+    reports = {}
+    for recovery in (RECOVERY_RESUME, RECOVERY_RESTART):
+        reports[recovery] = run_chaos(dag, spec(), model, scenario,
+                                      seed=seed, recovery=recovery,
+                                      input_files=inputs)
+    return reports
+
+
+def _chaos_rows(reports):
+    labels = {RECOVERY_RESUME: "resume (HDFS checkpoints)",
+              RECOVERY_RESTART: "restart (no checkpoints)"}
+    rows = []
+    for recovery, rep in reports.items():
+        rows.append([labels[recovery], rep.baseline_seconds,
+                     rep.makespan_seconds, rep.overhead_fraction,
+                     len(rep.nodes_lost), rep.attempts_lost,
+                     rep.rereplicated_bytes / 2**20, rep.cost])
+    return rows
+
+
+_CHAOS_HEADERS = ["recovery", "baseline_s", "makespan_s", "overhead",
+                  "nodes_lost", "attempts_lost", "rereplicated_mib",
+                  "cost_usd"]
+
+
+def test_e13c_node_crash(benchmark):
+    reports = benchmark.pedantic(gnmf_chaos, args=(SCENARIO_NODE_CRASH,),
+                                 rounds=1, iterations=1)
+    report(Table(
+        experiment="E13c",
+        title="tiny GNMF: one node crashes mid-run (resume vs restart)",
+        headers=_CHAOS_HEADERS,
+        rows=_chaos_rows(reports),
+    ))
+    resume, restart = (reports[RECOVERY_RESUME], reports[RECOVERY_RESTART])
+    assert resume.completed and restart.completed
+    # The crash actually hit running work, and recovery costs something.
+    assert resume.attempts_lost >= 1
+    assert resume.overhead_seconds >= 0
+    assert restart.overhead_seconds >= 0
+    # Degrading onto survivors beats throwing the run away.
+    assert resume.makespan_seconds <= restart.makespan_seconds
+    assert resume.cost <= restart.cost
+
+
+def test_e13d_revocation_wave(benchmark):
+    reports = benchmark.pedantic(gnmf_chaos,
+                                 args=(SCENARIO_REVOCATION_WAVE,),
+                                 rounds=1, iterations=1)
+    report(Table(
+        experiment="E13d",
+        title="tiny GNMF: correlated spot-revocation wave "
+              "(with/without checkpointing)",
+        headers=_CHAOS_HEADERS,
+        rows=_chaos_rows(reports),
+    ))
+    resume, restart = (reports[RECOVERY_RESUME], reports[RECOVERY_RESTART])
+    assert resume.completed and restart.completed
+    # The wave takes several nodes at once and kills in-flight attempts.
+    assert len(resume.nodes_lost) >= 2
+    assert resume.attempts_lost >= 1
+    assert resume.rereplicated_bytes > 0
+    # Checkpointing to HDFS (resume) dominates restart on time and cost.
+    assert resume.makespan_seconds <= restart.makespan_seconds
+    assert resume.cost <= restart.cost
+    # The advisor recommends a sane cadence for this market and bid.
+    advice = advise_checkpoint_interval(
+        SpotMarket(), bid_fraction=0.35,
+        checkpoint_seconds=max(1.0, 0.02 * resume.baseline_seconds),
+        work_seconds=resume.baseline_seconds)
+    assert 0 < advice.interval_seconds <= resume.baseline_seconds
+    assert 0 <= advice.expected_overhead_fraction < 1
 
 
 def test_e13b_speculation(benchmark):

@@ -18,6 +18,15 @@ Commands
 ``metrics WORKLOAD [--format prom|json|csv|dashboard]``
     Simulate the workload with telemetry on and emit the collected metrics
     (Prometheus text, JSON, CSV, or an ASCII dashboard with sparklines).
+``chaos WORKLOAD --scenario node-crash|revocation-wave|flaky-tasks``
+    Run the workload under a seeded failure scenario and report the damage
+    (recovery overhead, nodes lost, re-executed tasks, re-replication
+    traffic); ``--trace-out`` / ``--metrics-out`` capture the recovery in
+    the unified trace/metrics schemas, ``--advise-checkpoint`` prints the
+    spot-market checkpoint-interval advice.
+
+``trace`` and ``metrics`` also accept ``--scenario``/``--chaos-seed`` to
+inject the same seeded failures into their simulated runs.
 
 Workloads are the paper's evaluation programs at preset scales
 (``--scale tiny|small|medium|large``; ``tiny`` is sized for real local
@@ -30,6 +39,15 @@ import argparse
 import sys
 
 from repro.cloud import EC2_CATALOG, ClusterSpec, get_instance_type
+from repro.cloud.spot import SpotMarket
+from repro.core.advisor import advise_checkpoint_interval
+from repro.core.chaos import (
+    RECOVERY_RESTART,
+    RECOVERY_RESUME,
+    SCENARIOS,
+    build_scenario,
+    run_chaos,
+)
 from repro.core.compiler import compile_program
 from repro.core.costmodel import CumulonCostModel
 from repro.core.executor import CumulonExecutor
@@ -50,6 +68,8 @@ from repro.observability import (
     CostMeter,
     InMemoryRecorder,
     MetricsRegistry,
+    NULL_METRICS,
+    NULL_RECORDER,
     SOURCE_ACTUAL,
     SOURCE_SIMULATED,
     SearchTrace,
@@ -209,14 +229,45 @@ def cmd_optimize(args, out) -> int:
     return 0
 
 
+def _workload_input_files(program) -> dict[str, int]:
+    """Virtual HDFS input files for a program (8 bytes per matrix cell)."""
+    return {
+        f"/input/{name}": var.shape[0] * var.shape[1] * 8
+        for name, var in program.inputs.items()
+    }
+
+
+def _chaos_injection(args, program, dag, spec, model):
+    """(failures, node_failures, namenode) for --scenario, else Nones."""
+    scenario = getattr(args, "scenario", None)
+    if not scenario:
+        return None, None, None
+    from repro.core.chaos import build_hdfs
+
+    baseline = simulate_program(dag, spec, model)
+    failures, node_failures = build_scenario(
+        scenario, args.chaos_seed, spec, baseline.seconds,
+        baseline=baseline.simulation)
+    namenode = build_hdfs(spec, _workload_input_files(program))
+    return failures, node_failures, namenode
+
+
 def cmd_trace(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
     spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
                        args.slots)
+    if args.diff and getattr(args, "scenario", None):
+        raise ReproError("--diff and --scenario cannot be combined: a real "
+                         "local run has no simulated node failures")
+    model = CumulonCostModel()
     sim_recorder = InMemoryRecorder(source=SOURCE_SIMULATED)
     compiled = compile_program(program, PhysicalContext(tile))
-    simulate_program(compiled.dag, spec, CumulonCostModel(),
-                     recorder=sim_recorder)
+    failures, node_failures, namenode = _chaos_injection(
+        args, program, compiled.dag, spec, model)
+    simulate_program(compiled.dag, spec, model,
+                     recorder=sim_recorder,
+                     failures=failures, node_failures=node_failures,
+                     namenode=namenode)
     traces = [sim_recorder.trace()]
     diff_text = None
     if args.diff:
@@ -269,8 +320,14 @@ def cmd_metrics(args, out) -> int:
                                deadline_seconds=deadline, registry=registry)
     compiled = compile_program(program, PhysicalContext(tile),
                                metrics=registry)
-    estimate = simulate_program(compiled.dag, spec, CumulonCostModel(),
-                                metrics=registry, cost_meter=cost_meter)
+    model = CumulonCostModel()
+    failures, node_failures, namenode = _chaos_injection(
+        args, program, compiled.dag, spec, model)
+    estimate = simulate_program(compiled.dag, spec, model,
+                                metrics=registry, cost_meter=cost_meter,
+                                failures=failures,
+                                node_failures=node_failures,
+                                namenode=namenode)
     if args.format == "prom":
         document = to_prometheus(registry)
     elif args.format == "json":
@@ -298,6 +355,57 @@ def cmd_metrics(args, out) -> int:
     return 0
 
 
+def cmd_chaos(args, out) -> int:
+    program, tile = build_workload(args.workload, args.scale)
+    spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
+                       args.slots)
+    compiled = compile_program(program, PhysicalContext(tile))
+    recorder = (InMemoryRecorder(source=SOURCE_SIMULATED)
+                if args.trace_out else None)
+    registry = MetricsRegistry() if args.metrics_out else None
+    report = run_chaos(
+        compiled.dag, spec, CumulonCostModel(),
+        scenario=args.scenario, seed=args.seed, recovery=args.recovery,
+        input_files=_workload_input_files(program),
+        min_live_nodes=args.min_live_nodes,
+        recorder=recorder if recorder is not None else NULL_RECORDER,
+        metrics=registry if registry is not None else NULL_METRICS)
+    print(report.describe(), file=out)
+    if args.trace_out:
+        document = chrome_trace_json([recorder.trace()], indent=2)
+        try:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write {args.trace_out}: {error}") from error
+        print(f"wrote chrome trace to {args.trace_out}", file=out)
+    if args.metrics_out:
+        extra = {"workload": args.workload, "scale": args.scale,
+                 "scenario": args.scenario, "seed": args.seed,
+                 "recovery": args.recovery,
+                 "cluster": spec.describe(),
+                 "completed": report.completed,
+                 "baseline_seconds": report.baseline_seconds,
+                 "makespan_seconds": (report.makespan_seconds
+                                      if report.completed else None)}
+        document = metrics_to_json(registry, indent=2, extra=extra)
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write {args.metrics_out}: {error}") from error
+        print(f"wrote json metrics to {args.metrics_out}", file=out)
+    if args.advise_checkpoint:
+        advice = advise_checkpoint_interval(
+            SpotMarket(), bid_fraction=0.35,
+            checkpoint_seconds=max(1.0, 0.02 * report.baseline_seconds),
+            work_seconds=report.baseline_seconds)
+        print(advice.describe(), file=out)
+    return 0 if report.completed else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -315,6 +423,13 @@ def make_parser() -> argparse.ArgumentParser:
                               "pagerank | logistic | pca | kmeans")
         sub.add_argument("--scale", default="medium",
                          choices=sorted(SCALES))
+
+    def add_chaos_injection_args(sub):
+        sub.add_argument("--scenario", default=None, choices=SCENARIOS,
+                         help="inject a seeded failure scenario into the "
+                              "simulated run")
+        sub.add_argument("--chaos-seed", dest="chaos_seed", type=int,
+                         default=0, help="scenario seed (with --scenario)")
 
     explain = subparsers.add_parser("explain", help="EXPLAIN a workload")
     add_workload_args(explain)
@@ -371,6 +486,7 @@ def make_parser() -> argparse.ArgumentParser:
                             "tiny) and report predicted-vs-actual error")
     trace.add_argument("--workers", type=int, default=2,
                        help="thread-pool size for the --diff real run")
+    add_chaos_injection_args(trace)
 
     metrics = subparsers.add_parser(
         "metrics", help="simulate with telemetry on and emit the metrics")
@@ -387,6 +503,31 @@ def make_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--deadline", type=float, default=None,
                          help="watch elapsed time against this deadline "
                               "in minutes")
+    add_chaos_injection_args(metrics)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a workload under a seeded failure scenario")
+    add_workload_args(chaos)
+    chaos.add_argument("--instance", default="m1.large")
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument("--slots", type=int, default=2)
+    chaos.add_argument("--scenario", required=True, choices=SCENARIOS)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (same seed = same failures)")
+    chaos.add_argument("--recovery", default=RECOVERY_RESUME,
+                       choices=(RECOVERY_RESUME, RECOVERY_RESTART),
+                       help="resume on survivors (checkpoint-by-HDFS) or "
+                            "restart the whole run from scratch")
+    chaos.add_argument("--min-live-nodes", dest="min_live_nodes", type=int,
+                       default=1, help="abort below this many live nodes")
+    chaos.add_argument("--trace-out", dest="trace_out", default=None,
+                       help="write a chrome trace of the chaos run here")
+    chaos.add_argument("--metrics-out", dest="metrics_out", default=None,
+                       help="write json metrics of the chaos run here")
+    chaos.add_argument("--advise-checkpoint", dest="advise_checkpoint",
+                       action="store_true",
+                       help="also print the spot-market checkpoint-interval "
+                            "advice for this workload")
     return parser
 
 
@@ -397,6 +538,7 @@ COMMANDS = {
     "optimize": cmd_optimize,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "chaos": cmd_chaos,
 }
 
 

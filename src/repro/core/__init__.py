@@ -12,7 +12,22 @@ from repro.core.compiler import (
     compile_program,
     normalize_transposes,
 )
-from repro.core.advisor import Warning_, validate_plan
+from repro.core.advisor import (
+    CheckpointAdvice,
+    Warning_,
+    advise_checkpoint_interval,
+    revocation_probability,
+    validate_plan,
+)
+from repro.core.chaos import (
+    RECOVERY_RESTART,
+    RECOVERY_RESUME,
+    SCENARIOS,
+    ChaosReport,
+    build_hdfs,
+    build_scenario,
+    run_chaos,
+)
 from repro.core.checkpoint import Checkpointer, IterativeRunner
 from repro.core.costmodel import CostModelConfig, CumulonCostModel
 from repro.core.deployment import (
@@ -37,6 +52,8 @@ from repro.core.expr import (
 )
 from repro.core.optimizer import (
     DeploymentOptimizer,
+    ReliabilityModel,
+    ReliablePlan,
     SearchSpace,
 )
 from repro.core.physical import (
@@ -76,12 +93,22 @@ __all__ = [
     "CompilerParams",
     "compile_program",
     "normalize_transposes",
+    "CheckpointAdvice",
     "Warning_",
+    "advise_checkpoint_interval",
+    "revocation_probability",
     "validate_plan",
     "CumulonSession",
     "WorkflowOptimizer",
     "WorkflowPlan",
     "WorkflowStage",
+    "RECOVERY_RESTART",
+    "RECOVERY_RESUME",
+    "SCENARIOS",
+    "ChaosReport",
+    "build_hdfs",
+    "build_scenario",
+    "run_chaos",
     "Checkpointer",
     "IterativeRunner",
     "CostBreakdown",
@@ -109,6 +136,8 @@ __all__ = [
     "naive_chain_flops",
     "reorder_matmul_chains",
     "DeploymentOptimizer",
+    "ReliabilityModel",
+    "ReliablePlan",
     "SearchSpace",
     "ElementwiseParams",
     "MatMulParams",

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.executor import CumulonExecutor
 from repro.core.program import Program
 from repro.errors import ExecutionError, ValidationError
+from repro.hadoop.local import FaultInjector, RetryPolicy
 from repro.matrix.tile import Tile, TileId
 from repro.matrix.tiled import TileBacking, TiledMatrix
 
@@ -99,7 +100,9 @@ class IterativeRunner:
                  static_inputs: dict[str, np.ndarray],
                  state_variables: list[str],
                  tile_size: int = 64,
-                 checkpointer: Checkpointer | None = None):
+                 checkpointer: Checkpointer | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None):
         if not state_variables:
             raise ValidationError("state_variables must be non-empty")
         self.program_factory = program_factory
@@ -107,6 +110,10 @@ class IterativeRunner:
         self.state_variables = list(state_variables)
         self.tile_size = tile_size
         self.checkpointer = checkpointer
+        #: Forwarded to the executor so *real* injected crashes (not just
+        #: the scripted ``crash_after``) exercise the resume path.
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
 
     def run(self, initial_state: dict[str, np.ndarray], iterations: int,
             crash_after: int | None = None) -> IterationResult:
@@ -142,7 +149,9 @@ class IterativeRunner:
 
     def _iterate(self, state, start: int, iterations: int,
                  crash_after: int | None) -> IterationResult:
-        executor = CumulonExecutor(tile_size=self.tile_size)
+        executor = CumulonExecutor(tile_size=self.tile_size,
+                                   retry_policy=self.retry_policy,
+                                   fault_injector=self.fault_injector)
         iteration = start
         for step in range(iterations):
             program = self.program_factory()

@@ -17,7 +17,12 @@ from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
 from repro.core.physical import PhysicalContext
 from repro.core.program import Program
 from repro.errors import ExecutionError, ValidationError
-from repro.hadoop.local import LocalExecutor, LocalRunReport
+from repro.hadoop.local import (
+    FaultInjector,
+    LocalExecutor,
+    LocalRunReport,
+    RetryPolicy,
+)
 from repro.matrix.tiled import DEFAULT_TILE_SIZE, DenseBacking, TileBacking, TiledMatrix
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import NULL_RECORDER, Trace, TraceRecorder
@@ -49,13 +54,17 @@ class CumulonExecutor:
                  params: CompilerParams | None = None,
                  backing: TileBacking | None = None,
                  recorder: TraceRecorder = NULL_RECORDER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None):
         self.tile_size = tile_size
         self.max_workers = max_workers
         self.params = params if params is not None else CompilerParams()
         self.backing = backing if backing is not None else DenseBacking()
         self.recorder = recorder
         self.metrics = metrics
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
 
     def run(self, program: Program,
             inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
@@ -70,7 +79,9 @@ class CumulonExecutor:
                                        recorder=recorder,
                                        metrics=self.metrics)
         executor = LocalExecutor(max_workers=self.max_workers,
-                                 recorder=recorder, metrics=self.metrics)
+                                 recorder=recorder, metrics=self.metrics,
+                                 retry_policy=self.retry_policy,
+                                 fault_injector=self.fault_injector)
         with recorder.span(f"execute:{program.name}", "executor"):
             report = executor.run(compiled.dag)
         with recorder.span(f"collect-outputs:{program.name}", "executor"):

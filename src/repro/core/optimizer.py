@@ -22,10 +22,13 @@ cost-versus-deadline curve a step function (E6).
 from __future__ import annotations
 
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cloud.instances import EC2_CATALOG, ClusterSpec, InstanceType
 from repro.cloud.pricing import DEFAULT_BILLING, BillingModel
+from repro.cloud.spot import SpotMarket
 from repro.cloud.provisioning import DEFAULT_STARTUP_SECONDS
 from repro.core.benchmarking import HardwareCoefficients
 from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
@@ -39,7 +42,18 @@ from repro.core.plans import (
 )
 from repro.core.program import Program
 from repro.core.simcost import simulate_program
-from repro.errors import InfeasibleConstraintError, ValidationError
+from repro.errors import (
+    InfeasibleConstraintError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.hadoop.faults import (
+    CompositeNodeFailures,
+    NodeFailureModel,
+    NoNodeFailures,
+    RandomNodeFailures,
+    SpotRevocationWaves,
+)
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.search import (
     NULL_SEARCH_TRACE,
@@ -90,6 +104,168 @@ class SearchSpace:
         if self.tile_size_options is not None:
             return list(self.tile_size_options)
         return [default]
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    index = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """The failure environment a deployment must survive.
+
+    Each scenario index derives its own seed, so N scenarios are N distinct
+    (but individually reproducible) failure draws: independent node crashes
+    at ``crash_rate_per_hour``, plus — when a ``market`` is given —
+    correlated spot-revocation waves whenever the market price crosses
+    ``bid_fraction``.  ``failure_factory`` overrides the built-in
+    composition entirely (scenario index in, model out).
+    """
+
+    crash_rate_per_hour: float = 0.0
+    market: SpotMarket | None = None
+    bid_fraction: float = 0.35
+    victim_fraction: float = 0.5
+    hour_seconds: float = 3600.0
+    scenarios: int = 5
+    seed: int = 0
+    min_live_nodes: int = 1
+    failure_factory: Callable[[int], NodeFailureModel] | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 1:
+            raise ValidationError(
+                f"scenarios must be >= 1, got {self.scenarios}")
+        if self.crash_rate_per_hour < 0:
+            raise ValidationError("crash_rate_per_hour must be >= 0")
+
+    def node_failures(self, index: int) -> NodeFailureModel:
+        """The node-failure model for scenario ``index``."""
+        if self.failure_factory is not None:
+            return self.failure_factory(index)
+        models: list[NodeFailureModel] = []
+        if self.crash_rate_per_hour > 0:
+            models.append(RandomNodeFailures(self.crash_rate_per_hour,
+                                             seed=self.seed + index))
+        if self.market is not None:
+            models.append(SpotRevocationWaves(
+                self.market, bid_fraction=self.bid_fraction,
+                seed=self.seed + index,
+                victim_fraction=self.victim_fraction,
+                hour_seconds=self.hour_seconds))
+        if not models:
+            return NoNodeFailures()
+        if len(models) == 1:
+            return models[0]
+        return CompositeNodeFailures(models)
+
+
+@dataclass
+class ReliablePlan:
+    """A deployment plan priced across seeded failure scenarios.
+
+    ``plan`` holds the failure-free estimate; the scenario lists hold one
+    entry per seeded scenario, with ``inf`` marking runs that aborted
+    (quorum lost or retries exhausted).  Summary statistics ignore aborted
+    scenarios — ``completion_rate`` tells you how many there were.
+    """
+
+    plan: DeploymentPlan
+    scenario_seconds: list[float] = field(default_factory=list)
+    scenario_costs: list[float] = field(default_factory=list)
+    min_live_nodes: int = 1
+
+    @property
+    def spec(self) -> ClusterSpec:
+        return self.plan.spec
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.scenario_seconds:
+            return 1.0
+        done = sum(1 for s in self.scenario_seconds if math.isfinite(s))
+        return done / len(self.scenario_seconds)
+
+    def _finite_seconds(self) -> list[float]:
+        return [s for s in self.scenario_seconds if math.isfinite(s)]
+
+    def _finite_costs(self) -> list[float]:
+        return [c for c in self.scenario_costs if math.isfinite(c)]
+
+    @property
+    def mean_seconds(self) -> float:
+        finite = self._finite_seconds()
+        if not finite:
+            return float("inf")
+        return sum(finite) / len(finite)
+
+    @property
+    def p95_seconds(self) -> float:
+        finite = self._finite_seconds()
+        if not finite:
+            return float("inf")
+        return _percentile(finite, 0.95)
+
+    @property
+    def mean_cost(self) -> float:
+        finite = self._finite_costs()
+        if not finite:
+            return float("inf")
+        return sum(finite) / len(finite)
+
+    @property
+    def p95_cost(self) -> float:
+        finite = self._finite_costs()
+        if not finite:
+            return float("inf")
+        return _percentile(finite, 0.95)
+
+    def expected_overrun(self, deadline_seconds: float) -> float:
+        """Mean seconds past the deadline across completed scenarios."""
+        finite = self._finite_seconds()
+        if not finite:
+            return float("inf")
+        return sum(max(0.0, s - deadline_seconds)
+                   for s in finite) / len(finite)
+
+    def p95_overrun(self, deadline_seconds: float) -> float:
+        finite = self._finite_seconds()
+        if not finite:
+            return float("inf")
+        return max(0.0, _percentile(finite, 0.95) - deadline_seconds)
+
+    def expected_cost_overrun(self, budget_dollars: float) -> float:
+        finite = self._finite_costs()
+        if not finite:
+            return float("inf")
+        return sum(max(0.0, c - budget_dollars)
+                   for c in finite) / len(finite)
+
+    def p95_cost_overrun(self, budget_dollars: float) -> float:
+        finite = self._finite_costs()
+        if not finite:
+            return float("inf")
+        return max(0.0, _percentile(finite, 0.95) - budget_dollars)
+
+    def describe(self) -> str:
+        n = len(self.scenario_seconds)
+        lines = [
+            f"{self.spec.describe()} under {n} failure scenario(s):",
+            f"  failure-free:  {self.plan.estimated_seconds:.1f}s  "
+            f"${self.plan.estimated_cost:.2f}",
+            f"  completion:    {self.completion_rate * 100:.0f}%",
+        ]
+        if self.completion_rate > 0:
+            lines += [
+                f"  time (mean):   {self.mean_seconds:.1f}s",
+                f"  time (p95):    {self.p95_seconds:.1f}s",
+                f"  cost (mean):   ${self.mean_cost:.2f}",
+                f"  cost (p95):    ${self.p95_cost:.2f}",
+            ]
+        return "\n".join(lines)
 
 
 class DeploymentOptimizer:
@@ -249,6 +425,88 @@ class DeploymentOptimizer:
                 f"no deployment costs at most ${budget_dollars:.2f}"
             )
         return plan
+
+    # -- reliability-aware search ------------------------------------------------
+
+    def evaluate_reliable(self, spec: ClusterSpec, params: CompilerParams,
+                          reliability: ReliabilityModel,
+                          tile_size: int | None = None) -> ReliablePlan:
+        """Price one deployment across the model's N failure scenarios.
+
+        Each scenario re-simulates the DAG under that scenario's seeded
+        node-failure draw; a run that aborts (quorum lost, retries
+        exhausted) records ``inf``.  The failure-free estimate rides along
+        as ``plan``.
+        """
+        tile_size = tile_size if tile_size is not None else self.tile_size
+        plan = self.evaluate(spec, params, tile_size)
+        compiled = self.compile_with(params, tile_size)
+        seconds: list[float] = []
+        costs: list[float] = []
+        for index in range(reliability.scenarios):
+            node_failures = reliability.node_failures(index)
+            try:
+                estimate = simulate_program(
+                    compiled.dag, spec, self.model,
+                    locality_aware=self.locality_aware,
+                    node_failures=node_failures,
+                    min_live_nodes=reliability.min_live_nodes)
+            except SchedulingError:
+                seconds.append(float("inf"))
+                costs.append(float("inf"))
+                if self.metrics.enabled:
+                    self.metrics.inc("optimizer.scenario_aborts")
+                continue
+            total = estimate.seconds + self.startup_seconds
+            seconds.append(total)
+            costs.append(self.billing.cost(spec, total))
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.reliable_evaluations")
+        return ReliablePlan(plan=plan, scenario_seconds=seconds,
+                            scenario_costs=costs,
+                            min_live_nodes=reliability.min_live_nodes)
+
+    def minimize_cost_under_deadline_reliable(
+            self, deadline_seconds: float, reliability: ReliabilityModel,
+            space: SearchSpace | None = None) -> ReliablePlan:
+        """Cheapest deployment whose *p95* time (not just the failure-free
+        estimate) meets the deadline, with every scenario completing.
+
+        Physical parameters are tuned failure-free per spec (failures do
+        not change which split factors are good), then the winning
+        configuration is stress-tested across the scenarios.  This is what
+        makes the reliability-aware optimizer pick bigger/safer clusters
+        than the failure-free one: a 1-node plan that is cheapest on paper
+        aborts the moment its only node is revoked.
+        """
+        if deadline_seconds <= 0:
+            raise ValidationError("deadline must be positive")
+        space = space if space is not None else SearchSpace()
+        best: ReliablePlan | None = None
+        with self.recorder.span("reliable-search", "optimizer"):
+            for instance in space.instance_types:
+                for num_nodes in space.node_counts:
+                    for slots in space.slots_for(instance):
+                        spec = ClusterSpec(instance, num_nodes, slots)
+                        tuned = self.best_params_for(spec, space)
+                        reliable = self.evaluate_reliable(
+                            spec, tuned.compiler_params, reliability,
+                            tile_size=tuned.tile_size or None)
+                        if reliable.completion_rate < 1.0:
+                            continue
+                        if reliable.p95_seconds > deadline_seconds:
+                            continue
+                        if (best is None
+                                or reliable.mean_cost < best.mean_cost):
+                            best = reliable
+        if best is None:
+            raise InfeasibleConstraintError(
+                f"no deployment meets the {deadline_seconds:.0f}s deadline "
+                f"at p95 across {reliability.scenarios} failure scenario(s)"
+            )
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.reliable_searches")
+        return best
 
     # -- hill climbing (for large spaces) ----------------------------------------
 

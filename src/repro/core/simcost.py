@@ -16,9 +16,11 @@ from dataclasses import dataclass, field
 
 from repro.cloud.instances import ClusterSpec
 from repro.errors import ValidationError
+from repro.hadoop.faults import FailureModel, NodeFailureModel
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.simulator import ClusterSimulator, SimulationResult
 from repro.hadoop.timemodel import TaskTimeModel
+from repro.hdfs.namenode import NameNode
 from repro.hdfs.tilestore import TileStore
 from repro.observability.cost import CostMeter
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
@@ -48,7 +50,11 @@ def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
                      locality_aware: bool = True,
                      recorder: TraceRecorder = NULL_RECORDER,
                      metrics: MetricsRegistry = NULL_METRICS,
-                     cost_meter: CostMeter | None = None
+                     cost_meter: CostMeter | None = None,
+                     failures: FailureModel | None = None,
+                     node_failures: NodeFailureModel | None = None,
+                     min_live_nodes: int = 1,
+                     namenode: NameNode | None = None
                      ) -> ProgramEstimate:
     """Estimate wall-clock of ``dag`` on ``spec`` by event simulation.
 
@@ -58,10 +64,18 @@ def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
     metrics on the virtual clock, and/or a
     :class:`~repro.observability.cost.CostMeter` to watch dollars accrue
     (and budgets blow) live during the simulation.
+
+    ``failures`` / ``node_failures`` inject seeded task- and node-level
+    faults (see :mod:`repro.hadoop.faults`); give a ``namenode`` to bill
+    HDFS re-replication traffic when a node dies.
     """
     simulator = ClusterSimulator(spec, model, locality_aware=locality_aware,
                                  recorder=recorder, metrics=metrics,
-                                 cost_meter=cost_meter)
+                                 cost_meter=cost_meter,
+                                 failures=failures,
+                                 node_failures=node_failures,
+                                 min_live_nodes=min_live_nodes,
+                                 namenode=namenode)
     result = simulator.run(dag)
     job_seconds = {job_id: timeline.duration
                    for job_id, timeline in result.job_timelines.items()}

@@ -41,12 +41,24 @@ class SchedulingError(ReproError):
     """The Hadoop scheduler/simulator reached an inconsistent state."""
 
 
+class QuorumLostError(SchedulingError):
+    """Node failures left fewer live nodes than the configured quorum."""
+
+
 class CompilationError(ReproError):
     """A logical plan could not be compiled into physical jobs."""
 
 
 class ExecutionError(ReproError):
     """A compiled job failed while executing."""
+
+
+class FaultInjectionError(ExecutionError):
+    """A deliberately injected fault (chaos/testing), not a real bug."""
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task attempt exceeded its per-task time budget."""
 
 
 class OptimizationError(ReproError):

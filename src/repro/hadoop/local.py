@@ -13,23 +13,36 @@ model-accuracy experiment (E4) use.  When given a
 one event per task attempt, tagged with the worker slot that ran it — so a
 real run and a simulated run of one DAG are directly diffable.
 
-Failure semantics: the first task exception wins.  Queued tasks that have
-not started yet are cancelled, in-flight tasks are allowed to drain (Python
-threads cannot be interrupted), and the failure propagates as
-:class:`~repro.errors.ExecutionError` once the pool is quiescent — never a
-hang, and the partial trace stays well-formed (the failing attempt is
-recorded with ``status="failed"``).
+Failure semantics: each attempt that fails is retried per the executor's
+:class:`RetryPolicy` (exponential backoff with deterministic seeded jitter,
+optional per-task timeout); once a task exhausts its attempts, the first
+task exception wins.  Queued tasks that have not started yet are cancelled,
+in-flight tasks are allowed to drain (Python threads cannot be interrupted),
+and the failure propagates as :class:`~repro.errors.ExecutionError` once the
+pool is quiescent — never a hang, and the partial trace stays well-formed
+(every failed attempt is recorded with ``status="failed"`` and its attempt
+index).
+
+Fault injection: a :class:`FaultInjector` hook fires before each attempt's
+real work, so chaos tests can kill precise (task, attempt) pairs — the same
+crash surface :mod:`repro.core.checkpoint` recovers from.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 import threading
 import time
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    FaultInjectionError,
+    TaskTimeoutError,
+    ValidationError,
+)
 from repro.hadoop.job import Job, JobDag
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import (
@@ -39,6 +52,103 @@ from repro.observability.trace import (
     TraceEvent,
     TraceRecorder,
 )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the local executor retries failing task attempts.
+
+    The default (one attempt, no delay) matches the executor's historical
+    fail-fast behaviour.  Backoff delays are deterministic: the jitter for
+    (task, attempt) is a pure function of ``seed``, so two runs with one
+    policy sleep identically — the property tests rely on it.
+
+    ``timeout_seconds`` is checked *after* an attempt finishes (Python
+    threads cannot be preempted): an attempt that ran too long is treated
+    as failed even if it returned, exactly like Hadoop's task timeout
+    killing a task that stopped reporting progress.
+    """
+
+    max_attempts: int = 1
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    max_backoff_seconds: float = 30.0
+    timeout_seconds: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0:
+            raise ValidationError("backoff_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValidationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValidationError("jitter_fraction must be in [0, 1]")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError("timeout_seconds must be positive")
+
+    def delay_before(self, task_id: str, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (attempt >= 1)."""
+        if attempt < 1 or self.backoff_seconds == 0:
+            return 0.0
+        base = min(self.backoff_seconds * self.backoff_factor ** (attempt - 1),
+                   self.max_backoff_seconds)
+        rng = random.Random(f"{self.seed}:{task_id}:{attempt}")
+        jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return base * jitter
+
+
+#: Fail-fast default: a single attempt, exactly the historical behaviour.
+NO_RETRY = RetryPolicy()
+
+
+class FaultInjector:
+    """Hook called before each attempt's real work; raise to kill it."""
+
+    def before_attempt(self, task_id: str, attempt: int) -> None:
+        raise NotImplementedError
+
+
+class ScriptedFaults(FaultInjector):
+    """Kill exact (task_id, attempt) pairs — precise chaos control."""
+
+    def __init__(self, failures: set[tuple[str, int]]):
+        self.failures = set(failures)
+
+    def before_attempt(self, task_id: str, attempt: int) -> None:
+        if (task_id, attempt) in self.failures:
+            raise FaultInjectionError(
+                f"injected fault: task {task_id} attempt {attempt}")
+
+
+class CrashAfterCalls(FaultInjector):
+    """Let ``calls`` attempts start, then kill every subsequent one.
+
+    Models a process crash partway through a run — the scenario
+    checkpoint/resume exists for.  Thread-safe; ``reset()`` re-arms it.
+    """
+
+    def __init__(self, calls: int):
+        if calls < 0:
+            raise ValidationError(f"calls must be >= 0, got {calls}")
+        self.calls = calls
+        self._remaining = calls
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._remaining = self.calls
+
+    def before_attempt(self, task_id: str, attempt: int) -> None:
+        with self._lock:
+            if self._remaining <= 0:
+                raise FaultInjectionError(
+                    f"injected crash: task {task_id} attempt {attempt} "
+                    f"(budget of {self.calls} calls exhausted)")
+            self._remaining -= 1
 
 
 @dataclass
@@ -87,12 +197,17 @@ class LocalExecutor:
 
     def __init__(self, max_workers: int = 4,
                  recorder: TraceRecorder = NULL_RECORDER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None):
         if max_workers <= 0:
             raise ExecutionError("max_workers must be positive")
         self.max_workers = max_workers
         self.recorder = recorder
         self.metrics = metrics
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else NO_RETRY
+        self.fault_injector = fault_injector
 
     def run(self, dag: JobDag) -> LocalRunReport:
         """Execute all jobs in dependency order; returns timing report."""
@@ -142,8 +257,31 @@ class LocalExecutor:
                     future.result()  # propagate the first failure
 
     def _invoke(self, job: Job, task, slots: _SlotPool) -> None:
+        """Run one task to completion, retrying per the policy.
+
+        Raises :class:`~repro.errors.ExecutionError` once the task has
+        exhausted its attempts.
+        """
+        policy = self.retry_policy
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                delay = policy.delay_before(task.task_id, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                if self.metrics.enabled:
+                    self.metrics.inc("local.task_retries")
+            try:
+                self._run_attempt(job, task, slots, attempt)
+                return
+            except ExecutionError:
+                if attempt + 1 >= policy.max_attempts:
+                    raise
+
+    def _run_attempt(self, job: Job, task, slots: _SlotPool,
+                     attempt: int) -> None:
         recorder = self.recorder
         metrics = self.metrics
+        policy = self.retry_policy
         slot = slots.acquire()
         if metrics.enabled:
             inflight = metrics.gauge("local.inflight_tasks")
@@ -152,9 +290,24 @@ class LocalExecutor:
             metrics.sample("local.inflight_tasks.samples", inflight.value)
             started_wall = metrics.now()
         start = recorder.now() if recorder.enabled else 0.0
+        attempt_started = time.perf_counter()
         status = STATUS_SUCCESS
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.before_attempt(task.task_id, attempt)
             task.run()
+            if policy.timeout_seconds is not None:
+                elapsed = time.perf_counter() - attempt_started
+                if elapsed > policy.timeout_seconds:
+                    # Post-hoc enforcement: the thread could not be
+                    # preempted, but the attempt still counts as failed.
+                    raise TaskTimeoutError(
+                        f"task {task.task_id} of job {job.job_id} took "
+                        f"{elapsed:.3f}s, over the {policy.timeout_seconds}s "
+                        f"timeout")
+        except ExecutionError:
+            status = STATUS_FAILED
+            raise
         except Exception as exc:
             status = STATUS_FAILED
             raise ExecutionError(
@@ -184,7 +337,7 @@ class LocalExecutor:
                     end=recorder.now(),
                     bytes_read=task.work.bytes_read,
                     bytes_written=task.work.bytes_written,
-                    attempt=0,
+                    attempt=attempt,
                     status=status,
                     label=task.label,
                 ))

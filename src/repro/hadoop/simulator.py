@@ -34,16 +34,27 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.cloud.instances import ClusterSpec
-from repro.errors import SchedulingError, ValidationError
-from repro.hadoop.faults import FailureModel
+from repro.errors import QuorumLostError, SchedulingError, ValidationError
+from repro.hadoop.faults import (
+    CAUSE_REVOCATION,
+    FailureModel,
+    NodeFailure,
+    NodeFailureModel,
+)
 from repro.hadoop.job import Job, JobDag, JobKind
 from repro.hadoop.task import Task, TaskAttempt, TaskKind
 from repro.hadoop.timemodel import TaskTimeModel
+from repro.hdfs.namenode import NameNode
 from repro.observability.cost import CostMeter
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.observability.trace import (
     NULL_RECORDER,
+    PHASE_NODE,
+    PHASE_REEXEC,
+    PHASE_REREPLICATION,
     PHASE_SHUFFLE,
+    STATUS_LOST,
+    STATUS_REVOKED,
     TraceEvent,
     TraceRecorder,
 )
@@ -52,6 +63,7 @@ from repro.observability.trace import (
 SUCCESS = "success"
 FAILED = "failed"
 KILLED = "killed"  # speculative loser, cancelled mid-flight
+LOST = "lost"      # attempt's node died under it; does not count as a retry
 
 #: Scheduling policies.
 FIFO = "fifo"
@@ -92,6 +104,12 @@ class SimulationResult:
     spec: ClusterSpec
     job_timelines: dict[str, JobTimeline]
     makespan: float
+    #: Node failures that actually fired during the run, in firing order.
+    lost_nodes: list[NodeFailure] = field(default_factory=list)
+    #: HDFS bytes copied to restore replication after node losses.
+    rereplicated_bytes: int = 0
+    #: Completed tasks whose outputs died with a node and were re-executed.
+    reexecuted_tasks: int = 0
 
     def job(self, job_id: str) -> JobTimeline:
         try:
@@ -112,13 +130,15 @@ class SimulationResult:
 class _NodeState:
     """Mutable per-node bookkeeping during simulation."""
 
-    __slots__ = ("name", "slots", "busy", "slow_factor", "free_slots")
+    __slots__ = ("name", "slots", "busy", "slow_factor", "free_slots",
+                 "alive")
 
     def __init__(self, name: str, slots: int, slow_factor: float = 1.0):
         self.name = name
         self.slots = slots
         self.busy = 0
         self.slow_factor = slow_factor
+        self.alive = True
         #: Min-heap of free slot indices: attempts always take the lowest
         #: free slot, which makes slot assignment (and hence traces)
         #: deterministic.
@@ -143,7 +163,8 @@ SPECULATION_THRESHOLD = 1.2
 class _TaskState:
     """Per-task progress: attempt counting, completion, speculation."""
 
-    __slots__ = ("task", "next_attempt", "completed", "running", "speculated")
+    __slots__ = ("task", "next_attempt", "completed", "running", "speculated",
+                 "completed_node")
 
     def __init__(self, task: Task):
         self.task = task
@@ -152,6 +173,9 @@ class _TaskState:
         #: In-flight attempts of this task: token -> start time.
         self.running: dict[int, float] = {}
         self.speculated = False
+        #: Node holding this task's output (map outputs live on local disk
+        #: until the shuffle fetches them; node loss invalidates them).
+        self.completed_node: str | None = None
 
 
 class _JobState:
@@ -177,6 +201,9 @@ class _JobState:
         self.completed_count = 0
         #: Attempts currently occupying a slot (fair scheduling key).
         self.running_attempts = 0
+        #: Bumped whenever completed map outputs are invalidated mid-shuffle;
+        #: in-flight "shuffle-done" events from an older epoch are stale.
+        self.shuffle_epoch = 0
 
     @property
     def finished(self) -> bool:
@@ -200,10 +227,17 @@ class ClusterSimulator:
                  scheduling: str = FIFO,
                  recorder: TraceRecorder = NULL_RECORDER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 cost_meter: CostMeter | None = None):
+                 cost_meter: CostMeter | None = None,
+                 node_failures: NodeFailureModel | None = None,
+                 min_live_nodes: int = 1,
+                 namenode: NameNode | None = None):
         if scheduling not in (FIFO, FAIR):
             raise ValidationError(
                 f"scheduling must be {FIFO!r} or {FAIR!r}, got {scheduling!r}"
+            )
+        if min_live_nodes < 1:
+            raise ValidationError(
+                f"min_live_nodes must be >= 1, got {min_live_nodes}"
             )
         self.spec = spec
         self.time_model = time_model
@@ -214,6 +248,9 @@ class ClusterSimulator:
         self.recorder = recorder
         self.metrics = metrics
         self.cost_meter = cost_meter
+        self.node_failures = node_failures
+        self.min_live_nodes = min_live_nodes
+        self.namenode = namenode
         self.slow_nodes = dict(slow_nodes or {})
         for name, factor in self.slow_nodes.items():
             if factor < 1.0:
@@ -242,9 +279,25 @@ class ClusterSimulator:
         counter = itertools.count()
         token_counter = itertools.count()
         cancelled: set[int] = set()
+        #: token -> (attempt, state, node, attempt_index, slot) for every
+        #: attempt in flight, so a dying node can fail its attempts at once.
+        live_tokens: dict[int, tuple] = {}
+        #: Tokens whose slot/busy bookkeeping was already reconciled at node
+        #: loss; their in-heap completion events must be ignored entirely.
+        voided: set[int] = set()
+        node_by_name = {node.name: node for node in nodes}
+        lost_nodes: list[NodeFailure] = []
+        rereplicated_bytes = 0
+        reexecuted_tasks = 0
 
         def push_event(time: float, kind: str, payload: object) -> None:
             heapq.heappush(events, (time, next(counter), kind, payload))
+
+        if self.node_failures is not None:
+            for failure in self.node_failures.failures(
+                    self.spec.node_names()):
+                if failure.node in node_by_name:
+                    push_event(start_time + failure.at, "node-lost", failure)
 
         def activate_ready_jobs() -> None:
             for job_id in order:
@@ -302,6 +355,7 @@ class ClusterSimulator:
                     concurrency_at_start=node.busy, status=SUCCESS)
                 push_event(attempt.end, "task-done",
                            (attempt, state, node, token, attempt_index, slot))
+            live_tokens[token] = (attempt, state, node, attempt_index, slot)
 
         def emit_attempt_event(state: _JobState, attempt: TaskAttempt,
                                slot: int, attempt_index: int,
@@ -371,7 +425,7 @@ class ClusterSimulator:
             next_eligible: float | None = None
             while progress:
                 progress = False
-                free = [node for node in nodes if node.free > 0]
+                free = [node for node in nodes if node.alive and node.free > 0]
                 if not free:
                     return
                 for job_id in runnable:
@@ -419,6 +473,7 @@ class ClusterSimulator:
         def complete_task(state: _JobState, attempt: TaskAttempt) -> None:
             task_state = state.task_states[attempt.task]
             task_state.completed = True
+            task_state.completed_node = attempt.node
             state.completed_duration_sum += attempt.duration
             state.completed_count += 1
             # Kill any surviving twin attempts: their events become stale.
@@ -454,6 +509,12 @@ class ClusterSimulator:
                 finish_job(states[payload])
             elif kind == "task-done":
                 attempt, state, node, token, attempt_index, slot = payload
+                if token in voided:
+                    # The node died under this attempt; everything was
+                    # reconciled at loss time.
+                    voided.discard(token)
+                    continue
+                live_tokens.pop(token, None)
                 node.busy -= 1
                 node.release_slot(slot)
                 state.running_attempts -= 1
@@ -485,6 +546,10 @@ class ClusterSimulator:
                         complete_task(state, attempt)
             elif kind == "task-failed":
                 attempt, state, node, token, attempt_index, slot = payload
+                if token in voided:
+                    voided.discard(token)
+                    continue
+                live_tokens.pop(token, None)
                 node.busy -= 1
                 node.release_slot(slot)
                 state.running_attempts -= 1
@@ -523,11 +588,137 @@ class ClusterSimulator:
             elif kind == "spec-check":
                 self._next_spec_check = float("inf")
             elif kind == "shuffle-done":
-                state = payload
+                state, epoch = payload
+                if epoch != state.shuffle_epoch:
+                    continue  # stale: map outputs were invalidated since
                 state.shuffle_done = True
                 state.pending_reduces = list(state.job.reduce_tasks)
                 if state.finished:
                     finish_job(state)
+            elif kind == "node-lost":
+                failure = payload
+                if all(state.finished_at is not None
+                       for state in states.values()):
+                    # Work already done; a far-future death must not bill
+                    # extra virtual time.  (Don't break: later heap entries
+                    # may be real, e.g. voided-token drains.)
+                    continue
+                node = node_by_name[failure.node]
+                if not node.alive:
+                    continue
+                node.alive = False
+                lost_nodes.append(failure)
+                revoked = failure.cause == CAUSE_REVOCATION
+                live = sum(1 for n in nodes if n.alive)
+                if metrics.enabled:
+                    metrics.inc("sim.nodes_lost")
+                    if revoked:
+                        metrics.inc("sim.revocations")
+                    metrics.sample("sim.live_nodes", live, t=self._clock)
+                if self.recorder.enabled:
+                    self.recorder.record(TraceEvent(
+                        job_id="cluster", task_id=node.name,
+                        phase=PHASE_NODE, slot="",
+                        start=self._clock, end=self._clock,
+                        status=STATUS_REVOKED if revoked else STATUS_LOST,
+                        label=failure.cause))
+                if live < self.min_live_nodes:
+                    raise QuorumLostError(
+                        f"{node.name} {failure.cause} at t={self._clock:.1f} "
+                        f"left {live} live node(s), below the quorum of "
+                        f"{self.min_live_nodes}; run aborted"
+                    )
+                # 1. Fail every attempt running on the dead node.  A lost
+                # attempt is the node's fault, not the task's: it is retried
+                # without counting against max_attempts (Hadoop semantics).
+                for token, entry in sorted(live_tokens.items()):
+                    attempt, state, anode, attempt_index, slot = entry
+                    if anode is not node:
+                        continue
+                    del live_tokens[token]
+                    voided.add(token)
+                    cancelled.discard(token)
+                    node.busy -= 1
+                    state.running_attempts -= 1
+                    task_state = state.task_states[attempt.task]
+                    task_state.running.pop(token, None)
+                    state.attempts.append(TaskAttempt(
+                        task=attempt.task, node=attempt.node,
+                        start=attempt.start, end=self._clock,
+                        concurrency_at_start=attempt.concurrency_at_start,
+                        status=LOST))
+                    emit_attempt_event(state, attempt, slot, attempt_index,
+                                       LOST, self._clock)
+                    if metrics.enabled:
+                        metrics.inc("sim.attempts_lost")
+                    if not task_state.completed:
+                        task_state.speculated = False
+                        if attempt.task.kind is TaskKind.MAP:
+                            state.pending_maps.append(attempt.task)
+                        else:
+                            state.pending_reduces.append(attempt.task)
+                # 2. Invalidate completed map outputs parked on the dead
+                # node's local disk: until the shuffle has fetched them,
+                # they exist nowhere else and must be recomputed.
+                for job_id in order:
+                    state = states[job_id]
+                    if (state.job.kind is not JobKind.MAPREDUCE
+                            or state.started_at is None
+                            or state.finished_at is not None
+                            or state.shuffle_done):
+                        continue
+                    invalidated = False
+                    for task in state.job.map_tasks:
+                        task_state = state.task_states[task]
+                        if not (task_state.completed
+                                and task_state.completed_node == node.name):
+                            continue
+                        task_state.completed = False
+                        task_state.completed_node = None
+                        state.maps_remaining += 1
+                        reexecuted_tasks += 1
+                        invalidated = True
+                        if not task_state.running:
+                            state.pending_maps.append(task)
+                        if metrics.enabled:
+                            metrics.inc("sim.reexec_tasks")
+                        if self.recorder.enabled:
+                            self.recorder.record(TraceEvent(
+                                job_id=state.job.job_id,
+                                task_id=task.task_id,
+                                phase=PHASE_REEXEC, slot="",
+                                start=self._clock, end=self._clock,
+                                status=STATUS_LOST,
+                                label=f"map output lost with {node.name}"))
+                    if invalidated:
+                        # Any in-flight shuffle fetched from the dead node;
+                        # it must restart once the maps rerun.
+                        state.shuffle_epoch += 1
+                # 3. HDFS blast radius: decommission the datanode and bill
+                # the re-replication traffic in virtual time.
+                if (self.namenode is not None
+                        and self.namenode.has_datanode(node.name)):
+                    copied = self.namenode.decommission(node.name)
+                    if copied:
+                        rereplicated_bytes += copied
+                        bandwidth = self.spec.instance_type.network_bandwidth
+                        seconds = copied / bandwidth
+                        if metrics.enabled:
+                            metrics.inc("sim.rereplications")
+                            metrics.inc("sim.rereplication_bytes", copied)
+                        if self.recorder.enabled:
+                            self.recorder.record(TraceEvent(
+                                job_id="cluster",
+                                task_id=f"{node.name}:rereplication",
+                                phase=PHASE_REREPLICATION, slot="",
+                                start=self._clock,
+                                end=self._clock + seconds,
+                                bytes_read=copied, bytes_written=copied,
+                                label=failure.cause))
+                    if metrics.enabled:
+                        metrics.set_gauge(
+                            "hdfs.under_replicated_blocks",
+                            len(self.namenode.under_replicated()))
             else:  # pragma: no cover - defensive
                 raise SchedulingError(f"unknown event kind {kind!r}")
             dispatch()
@@ -564,12 +755,15 @@ class ClusterSimulator:
             for job_id, state in states.items()
         }
         makespan = max(t.end for t in timelines.values())
-        return SimulationResult(self.spec, timelines, makespan)
+        return SimulationResult(self.spec, timelines, makespan,
+                                lost_nodes=lost_nodes,
+                                rereplicated_bytes=rereplicated_bytes,
+                                reexecuted_tasks=reexecuted_tasks)
 
     # -- helpers -----------------------------------------------------------------
 
     def _pick_node(self, nodes: list[_NodeState], task: Task) -> _NodeState | None:
-        free_nodes = [node for node in nodes if node.free > 0]
+        free_nodes = [node for node in nodes if node.alive and node.free > 0]
         if not free_nodes:
             return None
         if self.locality_aware and task.preferred_nodes:
@@ -584,7 +778,7 @@ class ClusterSimulator:
         bandwidth = (self.spec.num_nodes
                      * self.spec.instance_type.network_bandwidth)
         seconds = self.time_model.shuffle_duration(state.job, bandwidth)
-        state.shuffle_seconds = seconds
+        state.shuffle_seconds += seconds
         if self.metrics.enabled:
             self.metrics.inc("sim.shuffles")
             self.metrics.inc("sim.shuffle_bytes", state.job.shuffle_bytes)
@@ -599,4 +793,5 @@ class ClusterSimulator:
                 bytes_read=state.job.shuffle_bytes,
                 bytes_written=state.job.shuffle_bytes,
             ))
-        push_event(self._clock + seconds, "shuffle-done", state)
+        push_event(self._clock + seconds, "shuffle-done",
+                   (state, state.shuffle_epoch))

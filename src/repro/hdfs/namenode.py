@@ -5,6 +5,12 @@ map to replica locations, and every byte of capacity is accounted for on the
 datanodes.  Payload *contents* are stored in a side table keyed by path
 (rather than shipped around), which keeps the simulation cheap while letting
 read-after-write tests verify real data round-trips.
+
+Like real HDFS, replication is *eventually* restored: losing a datanode
+never fails the namespace.  Blocks that cannot reach their target
+replication (no spare capacity, too few nodes) are tracked as
+under-replicated and healed opportunistically when capacity returns —
+a new datanode registers, or a delete frees space.
 """
 
 from __future__ import annotations
@@ -58,6 +64,8 @@ class NameNode:
         self._files: dict[str, FileEntry] = {}
         self._blocks: dict[BlockId, BlockInfo] = {}
         self._next_block = 0
+        #: Blocks below target replication, awaiting capacity to heal.
+        self._under_replicated: set[BlockId] = set()
 
     # -- cluster membership ---------------------------------------------------
 
@@ -65,36 +73,80 @@ class NameNode:
         if node.name in self._datanodes:
             raise ValidationError(f"datanode {node.name!r} already registered")
         self._datanodes[node.name] = node
+        if self._under_replicated:
+            self.heal()
+
+    def has_datanode(self, name: str) -> bool:
+        return name in self._datanodes
 
     def datanodes(self) -> list[DataNode]:
         return list(self._datanodes.values())
 
-    def decommission(self, name: str) -> None:
-        """Remove a datanode, re-replicating its blocks elsewhere."""
+    def decommission(self, name: str) -> int:
+        """Remove a datanode, re-replicating its blocks elsewhere.
+
+        Returns the number of bytes copied to restore replication (the
+        traffic a simulator should bill).  Blocks that cannot be fully
+        restored — no spare node with capacity — are recorded as
+        under-replicated rather than raising; they heal opportunistically
+        when capacity returns.  Losing the *last* replica of a block is
+        still an error: the data is gone, not merely under-replicated.
+        """
         try:
             node = self._datanodes.pop(name)
         except KeyError:
             raise ValidationError(f"unknown datanode {name!r}") from None
-        for block_id in node.block_ids():
+        copied = 0
+        for block_id in sorted(node.block_ids(), key=lambda b: b.value):
             info = self._blocks[block_id]
             info.replicas.discard(name)
             node.evict(block_id)
-            self._restore_replication(info)
+            if not info.replicas:
+                raise ReplicationError(
+                    f"block {info.block_id.value} lost its last replica "
+                    f"with datanode {name!r}"
+                )
+            copied += self._restore_replication(info)
+        return copied
 
-    def _restore_replication(self, info: BlockInfo) -> None:
+    def under_replicated(self) -> list[BlockInfo]:
+        """Blocks currently below their target replication, by block id."""
+        return [self._blocks[block_id]
+                for block_id in sorted(self._under_replicated,
+                                       key=lambda b: b.value)]
+
+    def heal(self) -> int:
+        """Try to restore replication of every under-replicated block.
+
+        Returns the bytes copied.  Called automatically when a datanode
+        registers; safe to call any time.
+        """
+        copied = 0
+        for block_id in sorted(self._under_replicated,
+                               key=lambda b: b.value):
+            copied += self._restore_replication(self._blocks[block_id])
+        return copied
+
+    def _restore_replication(self, info: BlockInfo) -> int:
+        """Copy ``info`` toward target replication; never raises on a
+        capacity shortfall — the block is tracked as under-replicated
+        instead.  Returns bytes copied."""
         target = min(self.replication, len(self._datanodes))
+        copied = 0
         while info.replication < target:
             holders = info.replicas
             spare = [node for node in self._datanodes.values()
                      if node.name not in holders and node.free_bytes >= info.size]
             if not spare:
-                raise ReplicationError(
-                    f"cannot restore replication of block {info.block_id.value}"
-                )
+                self._under_replicated.add(info.block_id)
+                return copied
             spare.sort(key=lambda node: (node.used_bytes, node.name))
             chosen = spare[0]
             chosen.store(info.block_id, info.size)
             info.replicas.add(chosen.name)
+            copied += info.size
+        self._under_replicated.discard(info.block_id)
+        return copied
 
     # -- namespace operations ---------------------------------------------------
 
@@ -123,6 +175,8 @@ class NameNode:
             for node in nodes:
                 node.store(block_id, chunk)
                 info.replicas.add(node.name)
+            if len(nodes) < target:
+                self._under_replicated.add(block_id)
             self._blocks[block_id] = info
             entry.blocks.append(block_id)
         self._files[path] = entry
@@ -135,10 +189,13 @@ class NameNode:
             raise FileNotFoundInHDFSError(f"no such file: {path}") from None
         for block_id in entry.blocks:
             info = self._blocks.pop(block_id)
+            self._under_replicated.discard(block_id)
             for holder in info.replicas:
                 node = self._datanodes.get(holder)
                 if node is not None:
                     node.evict(block_id)
+        if self._under_replicated:
+            self.heal()  # the freed capacity may unblock pending copies
 
     def read(self, path: str) -> object:
         """Return the payload stored at ``path``."""

@@ -60,7 +60,10 @@ from repro.observability.trace import (
     NULL_RECORDER,
     PHASE_JOB,
     PHASE_MAP,
+    PHASE_NODE,
     PHASE_REDUCE,
+    PHASE_REEXEC,
+    PHASE_REREPLICATION,
     PHASE_SHUFFLE,
     PHASE_SPAN,
     SCHEMA_FIELDS,
@@ -68,6 +71,8 @@ from repro.observability.trace import (
     SOURCE_SIMULATED,
     STATUS_FAILED,
     STATUS_KILLED,
+    STATUS_LOST,
+    STATUS_REVOKED,
     STATUS_SUCCESS,
     TASK_PHASES,
     InMemoryRecorder,
@@ -101,7 +106,10 @@ __all__ = [
     "OVERRUN_DEADLINE",
     "PHASE_JOB",
     "PHASE_MAP",
+    "PHASE_NODE",
     "PHASE_REDUCE",
+    "PHASE_REEXEC",
+    "PHASE_REREPLICATION",
     "PHASE_SHUFFLE",
     "PHASE_SPAN",
     "SCHEMA_FIELDS",
@@ -109,6 +117,8 @@ __all__ = [
     "SOURCE_SIMULATED",
     "STATUS_FAILED",
     "STATUS_KILLED",
+    "STATUS_LOST",
+    "STATUS_REVOKED",
     "STATUS_SUCCESS",
     "SearchTrace",
     "TASK_PHASES",

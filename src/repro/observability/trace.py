@@ -35,6 +35,11 @@ PHASE_REDUCE = "reduce"
 PHASE_SHUFFLE = "shuffle"
 PHASE_JOB = "job"
 PHASE_SPAN = "span"
+#: Cluster-level fault events: a node leaving, HDFS re-replication traffic,
+#: and a completed task's output being invalidated for re-execution.
+PHASE_NODE = "node"
+PHASE_REREPLICATION = "rereplication"
+PHASE_REEXEC = "reexec"
 
 #: Phases that represent schedulable task work (one slot, one attempt).
 TASK_PHASES = frozenset({PHASE_MAP, PHASE_REDUCE})
@@ -43,6 +48,10 @@ TASK_PHASES = frozenset({PHASE_MAP, PHASE_REDUCE})
 STATUS_SUCCESS = "success"
 STATUS_FAILED = "failed"
 STATUS_KILLED = "killed"
+#: Attempt (or node) terminated by node loss rather than its own failure.
+STATUS_LOST = "lost"
+#: Node revoked by the spot market (correlated wave), vs. an ordinary crash.
+STATUS_REVOKED = "revoked"
 
 #: Trace provenance.
 SOURCE_SIMULATED = "simulated"

@@ -140,3 +140,80 @@ class TestIterativeRunner:
             runner.run({}, iterations=2)
         with pytest.raises(ValidationError):
             IterativeRunner(gd_iteration_factory(), {}, [], tile_size=8)
+
+
+class TestFaultInjectedResume:
+    """Real crashes (injected at the executor layer, not the scripted
+    ``crash_after`` hook) drive the checkpoint/resume path end to end."""
+
+    class _CountingInjector:
+        def __init__(self):
+            self.calls = 0
+
+        def before_attempt(self, task_id, attempt):
+            self.calls += 1
+
+    def test_injected_crash_then_resume_matches_straight_run(self, problem):
+        from repro.core.checkpoint import IterativeRunner
+        from repro.hadoop.local import CrashAfterCalls
+
+        x, y, w0 = problem
+
+        def make_runner(checkpointer, fault_injector=None):
+            return IterativeRunner(
+                gd_iteration_factory(),
+                static_inputs={"X": x, "y": y},
+                state_variables=["w"],
+                tile_size=8,
+                checkpointer=checkpointer,
+                fault_injector=fault_injector,
+            )
+
+        # Measure how many task attempts one iteration costs, then budget
+        # the crash to land inside iteration 3.
+        probe = self._CountingInjector()
+        make_runner(Checkpointer(DenseBacking()),
+                    fault_injector=probe).run({"w": w0}, iterations=1)
+        per_iteration = probe.calls
+        assert per_iteration > 0
+
+        checkpointer = Checkpointer(DenseBacking())
+        crashy = make_runner(checkpointer,
+                             CrashAfterCalls(2 * per_iteration + 1))
+        with pytest.raises(ExecutionError, match="injected crash"):
+            crashy.run({"w": w0}, iterations=6)
+        assert checkpointer.latest() == "iter-2"
+
+        resumed = make_runner(checkpointer).resume(iterations=4)
+        expected = reference_gd(x, y, w0, 6)
+        np.testing.assert_allclose(resumed.state["w"], expected, rtol=1e-8)
+        assert resumed.iteration == 6
+
+    def test_retry_policy_rides_through_to_executor(self, problem):
+        from repro.core.checkpoint import IterativeRunner
+        from repro.hadoop.local import RetryPolicy, ScriptedFaults
+
+        x, y, w0 = problem
+        # Kill the first attempt of every task; with retries allowed the
+        # run must still converge to the fault-free answer.
+        class FirstAttemptFails(ScriptedFaults):
+            def __init__(self):
+                super().__init__(set())
+
+            def before_attempt(self, task_id, attempt):
+                if attempt == 0:
+                    from repro.errors import FaultInjectionError
+                    raise FaultInjectionError(
+                        f"injected fault: task {task_id} attempt 0")
+
+        runner = IterativeRunner(
+            gd_iteration_factory(),
+            static_inputs={"X": x, "y": y},
+            state_variables=["w"],
+            tile_size=8,
+            retry_policy=RetryPolicy(max_attempts=2),
+            fault_injector=FirstAttemptFails(),
+        )
+        result = runner.run({"w": w0}, iterations=3)
+        expected = reference_gd(x, y, w0, 3)
+        np.testing.assert_allclose(result.state["w"], expected, rtol=1e-8)

@@ -201,3 +201,67 @@ class TestWorkloadRegistry:
     def test_unknown_name(self):
         with pytest.raises(ReproError):
             build_workload("quicksort", "small")
+
+
+class TestChaos:
+    def test_node_crash_reports_damage(self):
+        code, text = run_cli("chaos", "gnmf", "--scale", "tiny",
+                             "--scenario", "node-crash", "--seed", "7")
+        assert code == 0
+        assert "chaos scenario 'node-crash'" in text
+        assert "clean baseline" in text
+        assert "nodes lost" in text
+
+    def test_revocation_wave_writes_artifacts(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code, text = run_cli(
+            "chaos", "gnmf", "--scale", "tiny",
+            "--scenario", "revocation-wave", "--seed", "7",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--advise-checkpoint")
+        assert code == 0
+        assert "checkpoint" in text
+        assert validate_chrome_trace(trace_path.read_text()) > 0
+        document = json.loads(metrics_path.read_text())
+        counters = {c["name"]: c["value"] for c in document["counters"]}
+        assert counters.get("sim.nodes_lost", 0) >= 1
+        assert document["scenario"] == "revocation-wave"
+        assert document["completed"] is True
+
+    def test_restart_recovery_costs_more(self):
+        code, resume_text = run_cli("chaos", "gnmf", "--scale", "tiny",
+                                    "--scenario", "node-crash", "--seed", "7")
+        assert code == 0
+        code, restart_text = run_cli("chaos", "gnmf", "--scale", "tiny",
+                                     "--scenario", "node-crash", "--seed",
+                                     "7", "--recovery", "restart")
+        assert code == 0
+        assert "restart" in restart_text
+
+    def test_quorum_loss_exits_nonzero(self):
+        code, text = run_cli("chaos", "gnmf", "--scale", "tiny", "--nodes",
+                             "2", "--scenario", "node-crash",
+                             "--min-live-nodes", "2")
+        assert code == 1
+        assert "ABORTED" in text
+
+    def test_trace_scenario_injection(self):
+        code, text = run_cli("trace", "gnmf", "--scale", "tiny",
+                             "--scenario", "revocation-wave",
+                             "--chaos-seed", "7", "--format", "summary")
+        assert code == 0
+
+    def test_trace_diff_rejects_scenario(self):
+        code, __ = run_cli("trace", "multiply", "--scale", "tiny", "--diff",
+                           "--scenario", "node-crash")
+        assert code == 1
+
+    def test_metrics_scenario_counts_losses(self):
+        code, text = run_cli("metrics", "gnmf", "--scale", "tiny",
+                             "--scenario", "revocation-wave",
+                             "--chaos-seed", "7", "--format", "prom")
+        assert code == 0
+        assert "sim_nodes_lost_total" in text
+        assert "sim_revocations_total" in text

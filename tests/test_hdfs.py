@@ -234,3 +234,97 @@ class TestNameNode:
             NameNode(block_size=0)
         with pytest.raises(ValidationError):
             NameNode(replication=0)
+
+
+class TestDecommissionAndUnderReplication:
+    """Node loss at the namenode: re-replication billing, graceful
+    degradation, and opportunistic healing."""
+
+    def test_decommission_rereplicates_and_returns_bytes(self):
+        namenode = make_namenode(nodes=4, replication=2)
+        namenode.create("/a", 150 * 2**20, writer="node-0")
+        victim = sorted(namenode.replica_nodes("/a"))[0]
+        total = sum(info.size for info in namenode.block_infos("/a")
+                    if victim in info.replicas)
+        copied = namenode.decommission(victim)
+        assert copied == total
+        assert not namenode.has_datanode(victim)
+        assert namenode.under_replicated() == []
+        for info in namenode.block_infos("/a"):
+            assert info.replication == 2
+            assert victim not in info.replicas
+
+    def test_decommission_unknown_node_rejected(self):
+        namenode = make_namenode()
+        with pytest.raises(ValidationError):
+            namenode.decommission("node-99")
+
+    def test_losing_last_replica_still_raises(self):
+        namenode = NameNode(replication=1)
+        namenode.register_datanode(DataNode("only", 10**9))
+        namenode.create("/a", 10 * 2**20)
+        with pytest.raises(ReplicationError, match="last replica"):
+            namenode.decommission("only")
+
+    def test_capacity_shortfall_recorded_not_raised(self):
+        namenode = NameNode(replication=2)
+        namenode.register_datanode(DataNode("node-0", 10**9))
+        namenode.register_datanode(DataNode("node-1", 10**9))
+        namenode.register_datanode(DataNode("node-2", 1))  # no room
+        namenode.create("/a", 100 * 2**20, writer="node-0")
+        copied = namenode.decommission("node-0")
+        assert copied == 0  # nowhere to copy to
+        under = namenode.under_replicated()
+        assert under
+        assert all(info.replication == 1 for info in under)
+
+    def test_registering_capacity_heals_under_replication(self):
+        namenode = NameNode(replication=2)
+        namenode.register_datanode(DataNode("node-0", 10**9))
+        namenode.register_datanode(DataNode("node-1", 10**9))
+        namenode.register_datanode(DataNode("node-2", 1))  # no room
+        namenode.create("/a", 100 * 2**20, writer="node-0")
+        namenode.decommission("node-0")
+        assert namenode.under_replicated()
+        namenode.register_datanode(DataNode("node-3", 10**9))
+        assert namenode.under_replicated() == []
+        for info in namenode.block_infos("/a"):
+            assert info.replication == 2
+
+    def test_explicit_heal_reports_bytes(self):
+        namenode = NameNode(replication=2)
+        namenode.register_datanode(DataNode("node-0", 10**9))
+        namenode.register_datanode(DataNode("node-1", 10**9))
+        namenode.register_datanode(DataNode("node-2", 1))  # no room
+        namenode.create("/a", 100 * 2**20, writer="node-0")
+        namenode.decommission("node-0")
+        assert namenode.heal() == 0  # still no spare capacity
+        assert namenode.under_replicated()
+        namenode.register_datanode(DataNode("node-4", 10**9))
+        assert namenode.under_replicated() == []
+        for info in namenode.block_infos("/a"):
+            assert info.replication == 2
+
+    def test_create_short_placement_is_under_replicated(self):
+        namenode = NameNode(replication=3)
+        namenode.register_datanode(DataNode("node-0", 10**9))
+        namenode.create("/a", 10 * 2**20)
+        # Only one node exists: target adapts, so nothing is pending...
+        assert namenode.under_replicated() == []
+        namenode_small = NameNode(replication=2)
+        namenode_small.register_datanode(DataNode("big", 10**9))
+        namenode_small.register_datanode(DataNode("tiny", 1))
+        namenode_small.create("/b", 10 * 2**20, writer="big")
+        # ...but a reachable target missed for lack of capacity is pending.
+        assert namenode_small.under_replicated()
+
+    def test_delete_clears_pending_blocks(self):
+        namenode = NameNode(replication=2)
+        namenode.register_datanode(DataNode("node-0", 10**9))
+        namenode.register_datanode(DataNode("node-1", 10**9))
+        namenode.register_datanode(DataNode("node-2", 1))  # no room
+        namenode.create("/a", 100 * 2**20, writer="node-0")
+        namenode.decommission("node-0")
+        assert namenode.under_replicated()
+        namenode.delete("/a")
+        assert namenode.under_replicated() == []

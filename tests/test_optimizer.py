@@ -133,3 +133,79 @@ class TestCompilationCache:
         first = optimizer.compile_with(params)
         second = optimizer.compile_with(params)
         assert first is second
+
+
+class TestReliabilityAwareSearch:
+    """The acceptance scenario: a failure environment where the cheapest
+    failure-free cluster cannot even finish, so the reliability-aware
+    search must pick a different (bigger) deployment."""
+
+    @pytest.fixture(scope="class")
+    def small_optimizer(self):
+        program = build_multiply_program(2048, 2048, 2048)
+        return DeploymentOptimizer(program, tile_size=1024)
+
+    @pytest.fixture(scope="class")
+    def small_space(self):
+        return SearchSpace(
+            instance_types=(get_instance_type("m1.large"),),
+            node_counts=(1, 4),
+            slots_options=(2,),
+            matmul_options=(MatMulParams(1, 1, 1),),
+        )
+
+    @pytest.fixture(scope="class")
+    def reliability(self):
+        from repro.core.optimizer import ReliabilityModel
+        from repro.hadoop.faults import TargetedNodeFailures
+
+        # Every scenario kills node 0 early: fatal for a 1-node cluster,
+        # an inconvenience for a 4-node one.
+        return ReliabilityModel(
+            scenarios=2,
+            failure_factory=lambda index: TargetedNodeFailures(
+                {"m1.large-0": 1.0}),
+        )
+
+    def test_reliable_search_picks_a_different_cluster(
+            self, small_optimizer, small_space, reliability):
+        deadline = 3600.0
+        free = small_optimizer.minimize_cost_under_deadline(
+            deadline, small_space)
+        reliable = small_optimizer.minimize_cost_under_deadline_reliable(
+            deadline, reliability, small_space)
+        assert free.spec.num_nodes == 1  # cheapest on paper
+        assert reliable.plan.spec.num_nodes == 4
+        assert reliable.completion_rate == 1.0
+        assert reliable.p95_seconds <= deadline
+
+    def test_evaluate_reliable_marks_aborts(self, small_optimizer,
+                                            reliability):
+        from repro.core.compiler import CompilerParams
+
+        doomed = ClusterSpec(get_instance_type("m1.large"), 1, 2)
+        plan = small_optimizer.evaluate_reliable(doomed, CompilerParams(),
+                                                 reliability)
+        assert plan.completion_rate == 0.0
+        assert all(s == float("inf") for s in plan.scenario_seconds)
+        assert all(c == float("inf") for c in plan.scenario_costs)
+
+    def test_reliable_plan_overruns_nonnegative(self, small_optimizer,
+                                                small_space, reliability):
+        reliable = small_optimizer.minimize_cost_under_deadline_reliable(
+            3600.0, reliability, small_space)
+        assert reliable.expected_overrun(3600.0) >= 0
+        assert reliable.p95_overrun(3600.0) >= 0
+        # Overruns past the mean completion time must be visible.
+        tight = reliable.mean_seconds / 2.0
+        assert reliable.expected_overrun(tight) > 0
+        assert reliable.p95_overrun(tight) >= reliable.expected_overrun(tight)
+        assert reliable.expected_cost_overrun(0.0) == reliable.mean_cost
+        assert "scenario" in reliable.describe()
+
+    def test_scenarios_validated(self):
+        from repro.core.optimizer import ReliabilityModel
+        with pytest.raises(ValidationError):
+            ReliabilityModel(scenarios=0)
+        with pytest.raises(ValidationError):
+            ReliabilityModel(crash_rate_per_hour=-1.0)

@@ -119,3 +119,87 @@ def test_hopeless_failure_rates_abort(probability, seed):
         assert "failed 2 times" in str(error)
     else:
         assert result.count_attempts(SUCCESS) == 10
+
+
+# ---------------------------------------------------------------------------
+# Node-level failures.
+# ---------------------------------------------------------------------------
+
+from repro.errors import QuorumLostError  # noqa: E402
+from repro.hadoop.faults import (  # noqa: E402
+    RandomNodeFailures,
+    TargetedNodeFailures,
+)
+from repro.hadoop.simulator import LOST  # noqa: E402
+from repro.hdfs.datanode import DataNode  # noqa: E402
+from repro.hdfs.namenode import NameNode  # noqa: E402
+from repro.observability import InMemoryRecorder, MetricsRegistry  # noqa: E402
+
+
+def _run_with_node_failures(n_tasks, nodes, slots, rate, seed):
+    """One full traced simulation; everything rebuilt from seeds."""
+    cluster = spec(nodes, slots)
+    namenode = NameNode(replication=2)
+    for name in cluster.node_names():
+        namenode.register_datanode(DataNode(name, 10**12))
+    namenode.create("/input/X", 256 * 2**20, writer=cluster.node_names()[0])
+    recorder = InMemoryRecorder()
+    metrics = MetricsRegistry()
+    sim = ClusterSimulator(
+        cluster, FixedTimeModel(1.0), recorder=recorder, metrics=metrics,
+        node_failures=RandomNodeFailures(rate, seed=seed),
+        namenode=namenode)
+    try:
+        result = sim.run(build_dag(n_tasks))
+    except QuorumLostError as error:
+        return ("aborted", str(error))
+    events = sorted((e.phase, e.task_id, e.start, e.end, e.status, e.slot)
+                    for e in recorder.trace().events)
+    return (
+        result.makespan,
+        [(f.node, f.at, f.cause) for f in result.lost_nodes],
+        result.rereplicated_bytes,
+        result.reexecuted_tasks,
+        result.count_attempts(SUCCESS),
+        result.count_attempts(LOST),
+        events,
+    )
+
+
+@given(n_tasks=st.integers(1, 25), nodes=st.integers(2, 4),
+       slots=st.integers(1, 3), rate=st.floats(0.0, 400.0),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_node_failure_simulation_replays_identically(
+        n_tasks, nodes, slots, rate, seed):
+    """Same seeds -> byte-for-byte identical timeline, traffic, and trace
+    (the abort branch included)."""
+    assert _run_with_node_failures(n_tasks, nodes, slots, rate, seed) \
+        == _run_with_node_failures(n_tasks, nodes, slots, rate, seed)
+
+
+@given(n_tasks=st.integers(1, 25), nodes=st.integers(2, 4),
+       slots=st.integers(1, 3), seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_losing_all_but_one_node_degrades_not_crashes(
+        n_tasks, nodes, slots, seed):
+    """Concurrently killing every node but one — as many as (or more than)
+    the HDFS replication factor — must degrade the run onto the survivor,
+    never crash it."""
+    cluster = spec(nodes, slots)
+    names = cluster.node_names()
+    survivor = names[seed % nodes]
+    victims = {name: 0.5 for name in names if name != survivor}
+    namenode = NameNode(replication=min(2, nodes))
+    for name in names:
+        namenode.register_datanode(DataNode(name, 10**12))
+    namenode.create("/input/X", 256 * 2**20, writer=names[0])
+    sim = ClusterSimulator(cluster, FixedTimeModel(1.0),
+                           node_failures=TargetedNodeFailures(victims),
+                           namenode=namenode)
+    result = sim.run(build_dag(n_tasks))
+    assert result.count_attempts(SUCCESS) == n_tasks
+    assert len(result.lost_nodes) == nodes - 1
+    late = [a for a in result.job("j").attempts
+            if a.start > 0.5 and a.status == SUCCESS]
+    assert all(a.node == survivor for a in late)
