@@ -186,7 +186,8 @@ def cmd_explain(args, out) -> int:
     if args.search:
         trace = SearchTrace()
         optimizer = DeploymentOptimizer(program, tile_size=tile,
-                                        search_trace=trace)
+                                        search_trace=trace,
+                                        workers=args.search_workers)
         space = build_search_space(args)
         optimizer.skyline(space)
         if args.deadline is not None:
@@ -444,6 +445,10 @@ def make_parser() -> argparse.ArgumentParser:
     explain.add_argument("--node-counts", dest="node_counts", default=None,
                          help="comma-separated cluster sizes to search "
                               "(with --search)")
+    explain.add_argument("--workers", dest="search_workers", type=int,
+                         default=0,
+                         help="thread-pool size for candidate pricing "
+                              "(with --search; 0 = sequential)")
     explain.add_argument("--slot-options", dest="slot_options", default=None,
                          help="comma-separated slots-per-node options "
                               "(with --search)")

@@ -129,12 +129,23 @@ def explain_search(trace: SearchTrace) -> str:
     Candidates print in evaluation order with their predicted time/cost and
     verdict (frontier / dominated / pruned / skipped, plus feasibility when
     a constraint solver annotated them); the Pareto frontier, when marked,
-    is listed again at the bottom in full.
+    is listed again at the bottom in full, followed by the search's
+    performance accounting (memo hit rate, scenarios skipped, wall clock)
+    when the optimizer attached it.
+
+    The header distinguishes "0 pruned" (pruning ran, nothing lost) from
+    "pruning n/a" (no candidate ever had a sibling to lose to — e.g. a
+    single-matmul search space).
     """
     evaluated = trace.evaluated()
+    pruned = trace.pruned()
+    if not pruned and not getattr(trace, "pruning_applicable", True):
+        pruned_part = "pruning n/a"
+    else:
+        pruned_part = f"{len(pruned)} pruned"
     lines = [
         f"search: {len(trace.records)} candidates "
-        f"({len(evaluated)} priced, {len(trace.pruned())} pruned, "
+        f"({len(evaluated)} priced, {pruned_part}, "
         f"{len(trace.skipped())} skipped)"
     ]
     for record in trace.records:
@@ -158,6 +169,16 @@ def explain_search(trace: SearchTrace) -> str:
             lines.append(f"  {plan.spec.describe()}: "
                          f"{plan.estimated_seconds:.1f}s "
                          f"${plan.estimated_cost:.2f}")
+    stats = getattr(trace, "stats", None)
+    if stats is not None:
+        lines.append(
+            f"search performance: {stats.sims_executed}/{stats.sim_requests}"
+            f" simulations run, {stats.cache_hits} memo hits "
+            f"({stats.hit_rate * 100.0:.0f}% hit rate), "
+            f"{stats.scenarios_skipped} scenarios skipped")
+        lines.append(
+            f"  workers={stats.workers} wall={stats.wall_seconds:.2f}s "
+            f"~{stats.estimated_speedup:.1f}x vs uncached sequential")
     return "\n".join(lines)
 
 

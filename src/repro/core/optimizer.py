@@ -23,6 +23,9 @@ from __future__ import annotations
 
 
 import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,6 +36,7 @@ from repro.cloud.provisioning import DEFAULT_STARTUP_SECONDS
 from repro.core.benchmarking import HardwareCoefficients
 from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
 from repro.core.costmodel import CostModelConfig, CumulonCostModel
+from repro.core.evalcache import EvalCache
 from repro.core.physical import ElementwiseParams, MatMulParams, PhysicalContext
 from repro.core.plans import (
     DeploymentPlan,
@@ -60,6 +64,7 @@ from repro.observability.search import (
     ORIGIN_ADHOC,
     ORIGIN_GRID,
     ORIGIN_HILL_CLIMB,
+    SearchStats,
     SearchTrace,
 )
 from repro.observability.trace import NULL_RECORDER, TraceRecorder
@@ -95,12 +100,14 @@ class SearchSpace:
     tile_size_options: tuple[int, ...] | None = None
 
     def slots_for(self, instance: InstanceType) -> list[int]:
+        """Slot counts to try on ``instance`` (clamped to its max)."""
         if self.slots_options is not None:
             return [slots for slots in self.slots_options
                     if 1 <= slots <= instance.max_slots]
         return list(range(1, instance.max_slots + 1))
 
     def tile_sizes_for(self, default: int) -> list[int]:
+        """Tile sides to try (just ``default`` unless overridden)."""
         if self.tile_size_options is not None:
             return list(self.tile_size_options)
         return [default]
@@ -232,12 +239,14 @@ class ReliablePlan:
                    for s in finite) / len(finite)
 
     def p95_overrun(self, deadline_seconds: float) -> float:
+        """Seconds the p95 completion time exceeds the deadline by."""
         finite = self._finite_seconds()
         if not finite:
             return float("inf")
         return max(0.0, _percentile(finite, 0.95) - deadline_seconds)
 
     def expected_cost_overrun(self, budget_dollars: float) -> float:
+        """Mean dollars spent past the budget across scenarios."""
         finite = self._finite_costs()
         if not finite:
             return float("inf")
@@ -245,12 +254,14 @@ class ReliablePlan:
                    for c in finite) / len(finite)
 
     def p95_cost_overrun(self, budget_dollars: float) -> float:
+        """Dollars the p95 scenario cost exceeds the budget by."""
         finite = self._finite_costs()
         if not finite:
             return float("inf")
         return max(0.0, _percentile(finite, 0.95) - budget_dollars)
 
     def describe(self) -> str:
+        """Human-readable reliability summary of this plan."""
         n = len(self.scenario_seconds)
         lines = [
             f"{self.spec.describe()} under {n} failure scenario(s):",
@@ -269,7 +280,21 @@ class ReliablePlan:
 
 
 class DeploymentOptimizer:
-    """Searches the deployment space for one program."""
+    """Searches the deployment space for one program.
+
+    ``cache`` memoizes candidate simulations on a content-addressed key
+    (see :mod:`repro.core.evalcache`); the default is a fresh enabled
+    cache, so repeated solver calls and the reliability-aware search reuse
+    earlier pricings.  Pass :data:`~repro.core.evalcache.NULL_EVAL_CACHE`
+    to price every candidate from scratch (the sequential baseline the
+    differential tests and the E22 bench compare against).
+
+    ``workers`` sizes a thread pool for candidate pricing (0 or 1 =
+    sequential).  Parallel pricing is deterministic: workers only *price*
+    (pure simulation + billing), while the main thread folds results and
+    records telemetry in submission order, so the chosen plan, the Pareto
+    frontier, and the search trace are bit-identical to a sequential run.
+    """
 
     def __init__(self, program: Program, tile_size: int,
                  coefficients: HardwareCoefficients | None = None,
@@ -279,7 +304,11 @@ class DeploymentOptimizer:
                  locality_aware: bool = True,
                  recorder: TraceRecorder = NULL_RECORDER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 search_trace: SearchTrace = NULL_SEARCH_TRACE):
+                 search_trace: SearchTrace = NULL_SEARCH_TRACE,
+                 cache: EvalCache | None = None,
+                 workers: int = 0):
+        if workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {workers}")
         self.program = program
         self.tile_size = tile_size
         self.model = CumulonCostModel(coefficients, cost_config)
@@ -289,8 +318,14 @@ class DeploymentOptimizer:
         self.recorder = recorder
         self.metrics = metrics
         self.search_trace = search_trace
+        self.cache = cache if cache is not None else EvalCache(metrics=metrics)
+        self.workers = workers
         self._compiled_cache: dict[tuple[CompilerParams, int],
                                    CompiledProgram] = {}
+        #: Search-performance accounting (see :class:`SearchStats`).
+        self._stats_lock = threading.Lock()
+        self._sim_requests = 0
+        self._scenarios_skipped = 0
         #: Search-context for candidate records (set by the solvers).
         self._origin = ORIGIN_ADHOC
         self._step: int | None = None
@@ -317,16 +352,39 @@ class DeploymentOptimizer:
             self.metrics.inc("optimizer.compile_cache_hits")
         return self._compiled_cache[key]
 
+    def _price(self, compiled: CompiledProgram,
+               spec: ClusterSpec) -> tuple[float, float]:
+        """Pure pricing of one compiled program on one spec: (seconds, $).
+
+        Thread-safe (no trace/metrics/recorder side effects beyond the
+        lock-protected counters), so parallel workers may call it
+        concurrently; all recording happens later on the main thread.
+        """
+        with self._stats_lock:
+            self._sim_requests += 1
+        estimate = simulate_program(compiled.dag, spec, self.model,
+                                    locality_aware=self.locality_aware,
+                                    cache=self.cache)
+        seconds = estimate.seconds + self.startup_seconds
+        return seconds, self.billing.cost(spec, seconds)
+
     def evaluate(self, spec: ClusterSpec, params: CompilerParams,
-                 tile_size: int | None = None) -> DeploymentPlan:
-        """Price one (cluster, physical-plan, tile-size) combination."""
+                 tile_size: int | None = None,
+                 priced: tuple[float, float] | None = None) -> DeploymentPlan:
+        """Price one (cluster, physical-plan, tile-size) combination.
+
+        ``priced`` short-circuits the simulation with a pre-computed
+        ``(seconds, cost)`` pair — how parallel workers' results are folded
+        back in without re-simulating — while trace/metrics recording
+        still happens here, on the calling (main) thread.
+        """
         tile_size = tile_size if tile_size is not None else self.tile_size
         compiled = self.compile_with(params, tile_size)
-        with self.recorder.span(f"simulate:{spec.describe()}", "optimizer"):
-            estimate = simulate_program(compiled.dag, spec, self.model,
-                                        locality_aware=self.locality_aware)
-        seconds = estimate.seconds + self.startup_seconds
-        cost = self.billing.cost(spec, seconds)
+        if priced is None:
+            with self.recorder.span(f"simulate:{spec.describe()}",
+                                    "optimizer"):
+                priced = self._price(compiled, spec)
+        seconds, cost = priced
         plan = DeploymentPlan(spec, params, seconds, cost,
                               tile_size=tile_size)
         if self.metrics.enabled:
@@ -336,26 +394,41 @@ class DeploymentOptimizer:
                                   step=self._step, parent=self._parent)
         return plan
 
-    def best_params_for(self, spec: ClusterSpec,
-                        space: SearchSpace) -> DeploymentPlan:
-        """Tune physical parameters and tile size for a fixed cluster spec."""
+    def _combos(self, space: SearchSpace) -> list[tuple[int, CompilerParams]]:
+        """The per-spec physical tuning grid, in deterministic order."""
+        return [(tile_size, CompilerParams(matmul=matmul,
+                                           elementwise=space.elementwise))
+                for tile_size in space.tile_sizes_for(self.tile_size)
+                for matmul in space.matmul_options]
+
+    def best_params_for(self, spec: ClusterSpec, space: SearchSpace,
+                        priced: list[tuple[float, float]] | None = None
+                        ) -> DeploymentPlan:
+        """Tune physical parameters and tile size for a fixed cluster spec.
+
+        ``priced`` supplies pre-computed ``(seconds, cost)`` pairs in
+        ``_combos`` order (from the parallel pricing pass); folding —
+        sibling pruning, trace records — always happens here sequentially.
+        """
         trace = self.search_trace
+        combos = self._combos(space)
+        if trace.enabled and len(combos) > 1:
+            trace.pruning_applicable = True
         best: DeploymentPlan | None = None
         best_index: int | None = None
-        for tile_size in space.tile_sizes_for(self.tile_size):
-            for matmul in space.matmul_options:
-                params = CompilerParams(matmul=matmul,
-                                        elementwise=space.elementwise)
-                plan = self.evaluate(spec, params, tile_size)
-                index = len(trace) - 1 if trace.enabled else None
-                if (best is None
-                        or plan.estimated_seconds < best.estimated_seconds):
-                    if best_index is not None:
-                        trace.prune(best_index,
-                                    "slower sibling physical plan")
-                    best, best_index = plan, index
-                elif index is not None:
-                    trace.prune(index, "slower sibling physical plan")
+        for position, (tile_size, params) in enumerate(combos):
+            plan = self.evaluate(
+                spec, params, tile_size,
+                priced=priced[position] if priced is not None else None)
+            index = len(trace) - 1 if trace.enabled else None
+            if (best is None
+                    or plan.estimated_seconds < best.estimated_seconds):
+                if best_index is not None:
+                    trace.prune(best_index,
+                                "slower sibling physical plan")
+                best, best_index = plan, index
+            elif index is not None:
+                trace.prune(index, "slower sibling physical plan")
         assert best is not None  # space.matmul_options is non-empty
         return best
 
@@ -366,29 +439,98 @@ class DeploymentOptimizer:
         self._step = step
         self._parent = parent
 
+    # -- search-performance accounting ----------------------------------------
+
+    def _begin_search(self) -> dict:
+        """Snapshot the counters a search's :class:`SearchStats` diff against."""
+        return {"started": time.perf_counter(),
+                "requests": self._sim_requests,
+                "hits": self.cache.hits,
+                "skipped": self._scenarios_skipped}
+
+    def _finish_search(self, baseline: dict) -> None:
+        """Attach this search's :class:`SearchStats` to the trace/metrics."""
+        requests = self._sim_requests - baseline["requests"]
+        hits = self.cache.hits - baseline["hits"]
+        stats = SearchStats(
+            sim_requests=requests,
+            sims_executed=requests - hits,
+            cache_hits=hits,
+            scenarios_skipped=self._scenarios_skipped - baseline["skipped"],
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - baseline["started"])
+        if self.search_trace.enabled:
+            self.search_trace.set_stats(stats)
+        if self.metrics.enabled:
+            self.metrics.set_gauge("optimizer.search_wall_seconds",
+                                   stats.wall_seconds)
+            self.metrics.set_gauge("optimizer.search_hit_rate",
+                                   stats.hit_rate)
+
+    def _note_scenarios_skipped(self, count: int) -> None:
+        """Account reliability scenarios proven irrelevant without running."""
+        if count <= 0:
+            return
+        self._scenarios_skipped += count
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.scenarios_skipped", count)
+
     # -- exhaustive search -----------------------------------------------------
+
+    def _grid_specs(self, space: SearchSpace) -> list[ClusterSpec]:
+        """The grid's cluster specs, in deterministic enumeration order."""
+        return [ClusterSpec(instance, num_nodes, slots)
+                for instance in space.instance_types
+                for num_nodes in space.node_counts
+                for slots in space.slots_for(instance)]
+
+    def _price_specs(self, specs: list[ClusterSpec], space: SearchSpace
+                     ) -> list[list[tuple[float, float]] | None]:
+        """Price every (spec, combo) pair, fanning out across the pool.
+
+        Sequential mode (``workers <= 1``) returns ``None`` per spec, which
+        makes :meth:`best_params_for` price inline — the baseline path.
+        Parallel mode precompiles every combo on the main thread (the
+        compile cache is not thread-safe), then workers run only the pure
+        :meth:`_price`; results come back in submission order, so the
+        downstream fold is deterministic.
+        """
+        if self.workers <= 1 or len(specs) <= 1:
+            return [None] * len(specs)
+        combos = self._combos(space)
+        compiled = [self.compile_with(params, tile_size)
+                    for tile_size, params in combos]
+
+        def price_spec(spec: ClusterSpec) -> list[tuple[float, float]]:
+            return [self._price(program, spec) for program in compiled]
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(price_spec, specs))
 
     def enumerate_plans(self, space: SearchSpace | None = None
                         ) -> list[DeploymentPlan]:
         """Evaluate the full grid: every spec with its best physical params."""
         space = space if space is not None else SearchSpace()
+        baseline = self._begin_search()
         plans = []
         self._set_context(ORIGIN_GRID)
         try:
             with self.recorder.span("grid-search", "optimizer"):
-                for instance in space.instance_types:
-                    for num_nodes in space.node_counts:
-                        for slots in space.slots_for(instance):
-                            spec = ClusterSpec(instance, num_nodes, slots)
-                            plans.append(self.best_params_for(spec, space))
+                specs = self._grid_specs(space)
+                priced_by_spec = self._price_specs(specs, space)
+                for spec, priced in zip(specs, priced_by_spec):
+                    plans.append(self.best_params_for(spec, space,
+                                                      priced=priced))
         finally:
             self._set_context(ORIGIN_ADHOC)
+        self._finish_search(baseline)
         if self.metrics.enabled:
             self.metrics.inc("optimizer.grid_searches")
             self.metrics.set_gauge("optimizer.grid_plans", len(plans))
         return plans
 
     def skyline(self, space: SearchSpace | None = None) -> list[DeploymentPlan]:
+        """The Pareto time/cost frontier of the enumerated grid."""
         frontier = skyline(self.enumerate_plans(space))
         if self.search_trace.enabled:
             self.search_trace.mark_frontier(frontier)
@@ -399,6 +541,7 @@ class DeploymentOptimizer:
     def minimize_cost_under_deadline(self, deadline_seconds: float,
                                      space: SearchSpace | None = None
                                      ) -> DeploymentPlan:
+        """Cheapest grid plan finishing within ``deadline_seconds``."""
         if deadline_seconds <= 0:
             raise ValidationError("deadline must be positive")
         plans = self.enumerate_plans(space)
@@ -414,6 +557,7 @@ class DeploymentOptimizer:
     def minimize_time_under_budget(self, budget_dollars: float,
                                    space: SearchSpace | None = None
                                    ) -> DeploymentPlan:
+        """Fastest grid plan costing at most ``budget_dollars``."""
         if budget_dollars <= 0:
             raise ValidationError("budget must be positive")
         plans = self.enumerate_plans(space)
@@ -440,35 +584,75 @@ class DeploymentOptimizer:
         """
         tile_size = tile_size if tile_size is not None else self.tile_size
         plan = self.evaluate(spec, params, tile_size)
-        compiled = self.compile_with(params, tile_size)
+        reliable = self._stress_test(plan, reliability)
+        assert reliable is not None  # never aborts early without a deadline
+        if self.metrics.enabled:
+            self.metrics.inc("optimizer.reliable_evaluations")
+        return reliable
+
+    def _stress_test(self, plan: DeploymentPlan,
+                     reliability: ReliabilityModel,
+                     deadline_seconds: float | None = None,
+                     early_abort: bool = False) -> ReliablePlan | None:
+        """Run ``plan`` through the model's scenarios; None = provably out.
+
+        With ``early_abort`` (requires a deadline), scenario pricing stops
+        — returning ``None`` — the moment the candidate is *provably*
+        infeasible for :meth:`minimize_cost_under_deadline_reliable`:
+
+        * any scenario aborts (quorum lost / retries exhausted), since the
+          solver requires every scenario to complete; or
+        * enough scenarios exceed the deadline that the nearest-rank p95
+          must — out of ``n``, that takes ``n - ceil(0.95 n) + 1``
+          exceedances (one, for n <= 20).
+
+        Both proofs hold unconditionally (they never guess about the
+        scenarios they skip), so early abort rejects exactly the
+        candidates a full evaluation would.
+        """
+        n = reliability.scenarios
+        exceed_limit = n - math.ceil(0.95 * n) + 1
+        compiled = self.compile_with(plan.compiler_params,
+                                     plan.tile_size or self.tile_size)
         seconds: list[float] = []
         costs: list[float] = []
-        for index in range(reliability.scenarios):
+        exceeded = 0
+        for index in range(n):
             node_failures = reliability.node_failures(index)
+            with self._stats_lock:
+                self._sim_requests += 1
             try:
                 estimate = simulate_program(
-                    compiled.dag, spec, self.model,
+                    compiled.dag, plan.spec, self.model,
                     locality_aware=self.locality_aware,
                     node_failures=node_failures,
-                    min_live_nodes=reliability.min_live_nodes)
+                    min_live_nodes=reliability.min_live_nodes,
+                    cache=self.cache)
             except SchedulingError:
-                seconds.append(float("inf"))
-                costs.append(float("inf"))
                 if self.metrics.enabled:
                     self.metrics.inc("optimizer.scenario_aborts")
+                if early_abort:
+                    self._note_scenarios_skipped(n - index - 1)
+                    return None
+                seconds.append(float("inf"))
+                costs.append(float("inf"))
                 continue
             total = estimate.seconds + self.startup_seconds
             seconds.append(total)
-            costs.append(self.billing.cost(spec, total))
-        if self.metrics.enabled:
-            self.metrics.inc("optimizer.reliable_evaluations")
+            costs.append(self.billing.cost(plan.spec, total))
+            if deadline_seconds is not None and total > deadline_seconds:
+                exceeded += 1
+                if early_abort and exceeded >= exceed_limit:
+                    self._note_scenarios_skipped(n - index - 1)
+                    return None
         return ReliablePlan(plan=plan, scenario_seconds=seconds,
                             scenario_costs=costs,
                             min_live_nodes=reliability.min_live_nodes)
 
     def minimize_cost_under_deadline_reliable(
             self, deadline_seconds: float, reliability: ReliabilityModel,
-            space: SearchSpace | None = None) -> ReliablePlan:
+            space: SearchSpace | None = None,
+            early_abort: bool = True) -> ReliablePlan:
         """Cheapest deployment whose *p95* time (not just the failure-free
         estimate) meets the deadline, with every scenario completing.
 
@@ -478,27 +662,52 @@ class DeploymentOptimizer:
         makes the reliability-aware optimizer pick bigger/safer clusters
         than the failure-free one: a 1-node plan that is cheapest on paper
         aborts the moment its only node is revoked.
+
+        ``early_abort`` skips scenario simulations the search can prove
+        irrelevant.  Two of the prunes (see :meth:`_stress_test`) are
+        unconditional; two more lean on *failure monotonicity* — injected
+        failures never make a run faster or cheaper, which holds for every
+        failure model in this simulator (failures only re-execute work):
+
+        * a candidate whose failure-free time already exceeds the deadline
+          cannot meet it at p95 under failures;
+        * a candidate whose failure-free cost already matches or exceeds
+          the incumbent's mean scenario cost cannot beat it.
+
+        The chosen plan is identical with or without ``early_abort``
+        (locked by the differential test in ``tests/test_fast_search.py``);
+        only the number of scenario simulations differs.
         """
         if deadline_seconds <= 0:
             raise ValidationError("deadline must be positive")
         space = space if space is not None else SearchSpace()
+        baseline = self._begin_search()
         best: ReliablePlan | None = None
+        n = reliability.scenarios
         with self.recorder.span("reliable-search", "optimizer"):
-            for instance in space.instance_types:
-                for num_nodes in space.node_counts:
-                    for slots in space.slots_for(instance):
-                        spec = ClusterSpec(instance, num_nodes, slots)
-                        tuned = self.best_params_for(spec, space)
-                        reliable = self.evaluate_reliable(
-                            spec, tuned.compiler_params, reliability,
-                            tile_size=tuned.tile_size or None)
-                        if reliable.completion_rate < 1.0:
-                            continue
-                        if reliable.p95_seconds > deadline_seconds:
-                            continue
-                        if (best is None
-                                or reliable.mean_cost < best.mean_cost):
-                            best = reliable
+            specs = self._grid_specs(space)
+            priced_by_spec = self._price_specs(specs, space)
+            for spec, priced in zip(specs, priced_by_spec):
+                tuned = self.best_params_for(spec, space, priced=priced)
+                if early_abort and tuned.estimated_seconds > deadline_seconds:
+                    self._note_scenarios_skipped(n)
+                    continue
+                if early_abort and best is not None \
+                        and tuned.estimated_cost >= best.mean_cost:
+                    self._note_scenarios_skipped(n)
+                    continue
+                reliable = self._stress_test(tuned, reliability,
+                                             deadline_seconds=deadline_seconds,
+                                             early_abort=early_abort)
+                if reliable is None:  # provably infeasible, aborted early
+                    continue
+                if reliable.completion_rate < 1.0:
+                    continue
+                if reliable.p95_seconds > deadline_seconds:
+                    continue
+                if best is None or reliable.mean_cost < best.mean_cost:
+                    best = reliable
+        self._finish_search(baseline)
         if best is None:
             raise InfeasibleConstraintError(
                 f"no deployment meets the {deadline_seconds:.0f}s deadline "
@@ -525,9 +734,11 @@ class DeploymentOptimizer:
             instance = space.instance_types[0]
             seed_spec = ClusterSpec(instance, max(space.node_counts),
                                     min(instance.cores, instance.max_slots))
+        baseline = self._begin_search()
         with self.recorder.span("hill-climb", "optimizer"):
             current = self._hill_climb(deadline_seconds, space, seed_spec,
                                        max_steps)
+        self._finish_search(baseline)
         if self.search_trace.enabled:
             self.search_trace.mark_deadline(deadline_seconds)
         if self.metrics.enabled:

@@ -15,10 +15,13 @@ import math
 from dataclasses import dataclass, field
 
 from repro.cloud.instances import ClusterSpec
-from repro.errors import ValidationError
+from repro.core.evalcache import CachedEstimate, EvalCache, eval_key, \
+    model_fingerprint
+from repro.errors import QuorumLostError, SchedulingError, ValidationError
 from repro.hadoop.faults import FailureModel, NodeFailureModel
 from repro.hadoop.job import Job, JobDag, JobKind
-from repro.hadoop.simulator import ClusterSimulator, SimulationResult
+from repro.hadoop.simulator import ClusterSimulator, SimulationResult, \
+    dag_fingerprint
 from repro.hadoop.timemodel import TaskTimeModel
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.tilestore import TileStore
@@ -54,7 +57,8 @@ def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
                      failures: FailureModel | None = None,
                      node_failures: NodeFailureModel | None = None,
                      min_live_nodes: int = 1,
-                     namenode: NameNode | None = None
+                     namenode: NameNode | None = None,
+                     cache: EvalCache | None = None
                      ) -> ProgramEstimate:
     """Estimate wall-clock of ``dag`` on ``spec`` by event simulation.
 
@@ -68,7 +72,33 @@ def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
     ``failures`` / ``node_failures`` inject seeded task- and node-level
     faults (see :mod:`repro.hadoop.faults`); give a ``namenode`` to bill
     HDFS re-replication traffic when a node dies.
+
+    ``cache`` memoizes the simulation on its content-addressed key (see
+    :mod:`repro.core.evalcache`).  The memo is consulted only when the run
+    has no observable side effects (no recorder/metrics/cost meter/
+    namenode), no task-level failures, and every remaining input — DAG,
+    cost model, node-failure model *including seeds* — can prove its
+    identity; otherwise the simulation runs for real.  A cached abort
+    (quorum lost / retries exhausted) replays as the same exception.
     """
+    key = None
+    if cache is not None and cache.enabled and not recorder.enabled \
+            and not metrics.enabled and cost_meter is None \
+            and namenode is None and failures is None:
+        failures_fp = (node_failures.fingerprint()
+                       if node_failures is not None else "none")
+        key = eval_key(dag_fingerprint(dag), spec, model_fingerprint(model),
+                       locality_aware=locality_aware,
+                       min_live_nodes=min_live_nodes,
+                       failures_fp=failures_fp)
+        cached = cache.get(key)
+        if cached is not None:
+            if cached.aborted:
+                kind = (QuorumLostError if cached.abort_quorum
+                        else SchedulingError)
+                raise kind(cached.abort_message)
+            return ProgramEstimate(spec, cached.seconds,
+                                   dict(cached.job_seconds))
     simulator = ClusterSimulator(spec, model, locality_aware=locality_aware,
                                  recorder=recorder, metrics=metrics,
                                  cost_meter=cost_meter,
@@ -76,9 +106,20 @@ def simulate_program(dag: JobDag, spec: ClusterSpec, model: TaskTimeModel,
                                  node_failures=node_failures,
                                  min_live_nodes=min_live_nodes,
                                  namenode=namenode)
-    result = simulator.run(dag)
+    try:
+        result = simulator.run(dag)
+    except SchedulingError as error:
+        if key is not None:
+            cache.put(key, CachedEstimate(
+                seconds=float("inf"), aborted=True, abort_message=str(error),
+                abort_quorum=isinstance(error, QuorumLostError)))
+        raise
     job_seconds = {job_id: timeline.duration
                    for job_id, timeline in result.job_timelines.items()}
+    if key is not None:
+        cache.put(key, CachedEstimate(
+            seconds=result.makespan,
+            job_seconds=tuple(sorted(job_seconds.items()))))
     return ProgramEstimate(spec, result.makespan, job_seconds, result)
 
 

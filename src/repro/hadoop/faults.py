@@ -142,12 +142,28 @@ class NodeFailureModel:
         ``node_names`` so a simulation replays identically."""
         raise NotImplementedError
 
+    def fingerprint(self) -> str | None:
+        """Stable identity of this failure draw, for the simulation memo.
+
+        Two models with equal fingerprints must schedule identical deaths
+        on any node list; any parameter or **seed** difference must change
+        the fingerprint.  The base class answers ``None`` — "cannot prove
+        my identity" — which makes :class:`~repro.core.evalcache.EvalCache`
+        consumers bypass the memo rather than risk reusing a simulation
+        from a different failure scenario.  Subclasses that are pure
+        functions of their constructor arguments override this.
+        """
+        return None
+
 
 class NoNodeFailures(NodeFailureModel):
     """Every node survives."""
 
     def failures(self, node_names: list[str]) -> list[NodeFailure]:
         return []
+
+    def fingerprint(self) -> str | None:
+        return "none"
 
 
 class TargetedNodeFailures(NodeFailureModel):
@@ -160,6 +176,10 @@ class TargetedNodeFailures(NodeFailureModel):
     def failures(self, node_names: list[str]) -> list[NodeFailure]:
         names = set(node_names)
         return [event for event in self.events if event.node in names]
+
+    def fingerprint(self) -> str | None:
+        script = ",".join(f"{e.node}@{e.at}:{e.cause}" for e in self.events)
+        return f"targeted[{script}]"
 
 
 class RandomNodeFailures(NodeFailureModel):
@@ -188,6 +208,9 @@ class RandomNodeFailures(NodeFailureModel):
             hours = rng.expovariate(self.rate_per_hour)
             events.append(NodeFailure(name, hours * 3600.0, CAUSE_CRASH))
         return events
+
+    def fingerprint(self) -> str | None:
+        return f"random[rate={self.rate_per_hour},seed={self.seed}]"
 
 
 class SpotRevocationWaves(NodeFailureModel):
@@ -239,6 +262,13 @@ class SpotRevocationWaves(NodeFailureModel):
         return [NodeFailure(node, at, CAUSE_REVOCATION)
                 for node in sorted(victims[:count])]
 
+    def fingerprint(self) -> str | None:
+        market = (f"{self.market.base_discount},{self.market.volatility},"
+                  f"{self.market.floor}")
+        return (f"spot-wave[market=({market}),bid={self.bid_fraction},"
+                f"seed={self.seed},victims={self.victim_fraction},"
+                f"hour={self.hour_seconds}]")
+
 
 class CompositeNodeFailures(NodeFailureModel):
     """Union of several node-failure models; a node dies at its earliest
@@ -255,3 +285,9 @@ class CompositeNodeFailures(NodeFailureModel):
                 if current is None or event.at < current.at:
                     earliest[event.node] = event
         return [earliest[node] for node in sorted(earliest)]
+
+    def fingerprint(self) -> str | None:
+        parts = [model.fingerprint() for model in self.models]
+        if any(part is None for part in parts):
+            return None  # one unprovable component poisons the composite
+        return "composite[" + ";".join(parts) + "]"

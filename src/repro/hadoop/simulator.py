@@ -29,6 +29,7 @@ simplification that keeps the simulation linear-time.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
@@ -68,6 +69,36 @@ LOST = "lost"      # attempt's node died under it; does not count as a retry
 #: Scheduling policies.
 FIFO = "fifo"
 FAIR = "fair"
+
+
+def dag_fingerprint(dag: JobDag) -> str:
+    """Cheap content hash of everything in a DAG that affects simulation.
+
+    Covers job identity/kind/dependencies and each task's declarative work
+    and locality preferences — i.e. exactly the simulator's inputs, so two
+    DAGs with equal fingerprints simulate identically on any cluster.  The
+    hash is memoized on the DAG object (recomputed if jobs were added), so
+    repeated candidate evaluations of one compiled plan pay O(1), which is
+    what makes :class:`~repro.core.evalcache.EvalCache` keys cheap enough
+    to build per candidate.
+    """
+    cached = getattr(dag, "_fingerprint_memo", None)
+    if cached is not None and cached[0] == len(dag):
+        return cached[1]
+    digest = hashlib.blake2b(digest_size=16)
+    for job in dag.topological_order():
+        digest.update(f"job:{job.job_id}:{job.kind.value}"
+                      f":{','.join(sorted(job.depends_on))}\n".encode())
+        for task in job.all_tasks():
+            work = task.work
+            digest.update(
+                f"{task.task_id}:{task.kind.value}:{work.bytes_read}"
+                f":{work.bytes_written}:{work.flops}:{work.element_ops}"
+                f":{work.tile_ops}:{work.shuffle_bytes}:{work.memory_bytes}"
+                f":{','.join(sorted(task.preferred_nodes))}\n".encode())
+    fingerprint = digest.hexdigest()
+    dag._fingerprint_memo = (len(dag), fingerprint)
+    return fingerprint
 
 
 @dataclass

@@ -70,6 +70,7 @@ class Metric:
         self._lock = threading.Lock()
 
     def label_dict(self) -> LabelDict:
+        """Labels as a plain dict (exporter-friendly)."""
         return dict(self.labels)
 
 
@@ -85,6 +86,7 @@ class Counter(Metric):
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValidationError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
@@ -105,10 +107,12 @@ class Gauge(Metric):
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the current value."""
         with self._lock:
             self.value = float(value)
 
     def add(self, delta: float) -> None:
+        """Move the value by ``delta`` (either direction)."""
         with self._lock:
             self.value += delta
 
@@ -134,6 +138,7 @@ class Histogram(Metric):
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Record one observation into the cumulative buckets."""
         with self._lock:
             self.sum += value
             self.count += 1
@@ -168,14 +173,17 @@ class TimeSeries(Metric):
         self._samples: deque[tuple[float, float]] = deque(maxlen=max_samples)
 
     def record(self, t: float, value: float) -> None:
+        """Append one ``(t, value)`` sample (oldest evicted when full)."""
         with self._lock:
             self._samples.append((float(t), float(value)))
 
     def samples(self) -> list[tuple[float, float]]:
+        """Snapshot of the buffered samples, oldest first."""
         with self._lock:
             return list(self._samples)
 
     def values(self) -> list[float]:
+        """Just the sample values, oldest first."""
         return [value for __, value in self.samples()]
 
     @property
@@ -206,6 +214,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     def now(self) -> float:
+        """Seconds since this registry was created."""
         return self._clock() - self._epoch
 
     # -- instrument access (get-or-create) -----------------------------------
@@ -231,21 +240,25 @@ class MetricsRegistry:
 
     def counter(self, name: str, labels: LabelDict | None = None,
                 help: str = "") -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
         return self._get(KIND_COUNTER, Counter, name, labels, help)
 
     def gauge(self, name: str, labels: LabelDict | None = None,
               help: str = "") -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
         return self._get(KIND_GAUGE, Gauge, name, labels, help)
 
     def histogram(self, name: str, labels: LabelDict | None = None,
                   help: str = "",
                   buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
         return self._get(KIND_HISTOGRAM, Histogram, name, labels, help,
                          buckets=buckets)
 
     def series(self, name: str, labels: LabelDict | None = None,
                help: str = "",
                max_samples: int | None = None) -> TimeSeries:
+        """Get or create the time series ``name`` with ``labels``."""
         return self._get(KIND_SERIES, TimeSeries, name, labels, help,
                          max_samples=max_samples or self._max_samples)
 
@@ -253,14 +266,17 @@ class MetricsRegistry:
 
     def inc(self, name: str, amount: float = 1.0,
             labels: LabelDict | None = None) -> None:
+        """Increment counter ``name`` by ``amount``."""
         self.counter(name, labels).inc(amount)
 
     def set_gauge(self, name: str, value: float,
                   labels: LabelDict | None = None) -> None:
+        """Set gauge ``name`` to ``value``."""
         self.gauge(name, labels).set(value)
 
     def observe(self, name: str, value: float,
                 labels: LabelDict | None = None) -> None:
+        """Record ``value`` into histogram ``name``."""
         self.histogram(name, labels).observe(value)
 
     def sample(self, name: str, value: float, t: float | None = None,
@@ -314,6 +330,7 @@ class MetricsRegistry:
         return out
 
     def clear(self) -> None:
+        """Drop every registered instrument."""
         with self._lock:
             self._metrics.clear()
 
@@ -361,24 +378,26 @@ class NullMetricsRegistry(MetricsRegistry):
     enabled = False
 
     def __init__(self):
+        """No configuration; all state is discarded anyway."""
         super().__init__()
 
     def _get(self, kind, cls, name, labels, help, **kwargs):
         return _NULL_METRIC
 
     def inc(self, name, amount=1.0, labels=None):
-        pass
+        """No-op."""
 
     def set_gauge(self, name, value, labels=None):
-        pass
+        """No-op."""
 
     def observe(self, name, value, labels=None):
-        pass
+        """No-op."""
 
     def sample(self, name, value, t=None, labels=None):
-        pass
+        """No-op."""
 
     def snapshot(self) -> dict:
+        """An empty snapshot, shaped like the real one."""
         return {"counters": [], "gauges": [], "histograms": [], "series": []}
 
 

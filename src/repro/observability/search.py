@@ -35,6 +35,64 @@ ORIGIN_HILL_CLIMB = "hill-climb"
 ORIGIN_ADHOC = "adhoc"
 
 
+@dataclass
+class SearchStats:
+    """How one optimizer search spent (and saved) its simulation budget.
+
+    Attached to a :class:`SearchTrace` by the optimizer's solvers and
+    printed by ``explain_search`` / ``repro explain --search``.  The
+    central ratio is ``sims_executed`` vs ``sim_requests``: the memoized
+    search *asks* for the same number of simulations as the sequential
+    one (that is the bit-identical guarantee) but actually *runs* only
+    the cache misses, and skips reliability scenarios it can prove
+    irrelevant.
+    """
+
+    #: Simulations the search asked for (cache hits + misses + bypasses).
+    sim_requests: int = 0
+    #: Simulations that actually ran.
+    sims_executed: int = 0
+    cache_hits: int = 0
+    #: Reliability scenario simulations skipped by early abort / bounds.
+    scenarios_skipped: int = 0
+    #: Thread-pool size used for candidate evaluation (0 = sequential).
+    workers: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of simulation requests served from the memo."""
+        return self.cache_hits / self.sim_requests if self.sim_requests \
+            else 0.0
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Simulation work avoided, as a multiplier vs the uncached search.
+
+        ``(requests + skipped) / executed`` — i.e. how many simulations a
+        memo-less, no-early-abort search would have run per simulation
+        this one ran.  1.0 when nothing was saved; an all-hits search
+        (zero executed) counts as if it had run exactly one.
+        """
+        saved = self.sim_requests + self.scenarios_skipped
+        if not saved:
+            return 1.0
+        return saved / max(self.sims_executed, 1)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what ``--search-out`` serializes)."""
+        return {
+            "sim_requests": self.sim_requests,
+            "sims_executed": self.sims_executed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "scenarios_skipped": self.scenarios_skipped,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "estimated_speedup": self.estimated_speedup,
+        }
+
+
 def format_matmul(matmul) -> str:
     """Compact ``ixjxk`` rendering of split factors."""
     return (f"{matmul.tiles_per_task_i}x{matmul.tiles_per_task_j}"
@@ -84,6 +142,7 @@ class CandidateRecord:
         return ", ".join(parts) if parts else "kept"
 
     def to_dict(self) -> dict:
+        """JSON-ready form of the record (plan object omitted)."""
         return {
             "index": self.index,
             "origin": self.origin,
@@ -109,8 +168,15 @@ class SearchTrace:
     enabled = True
 
     def __init__(self):
+        """Start an empty trace; pass it to ``DeploymentOptimizer(trace=)``."""
         self.records: list[CandidateRecord] = []
         self._frontier: list[DeploymentPlan] = []
+        #: Performance accounting for the most recent search (or None).
+        self.stats: SearchStats | None = None
+        #: True once a search actually had sibling plans to prune among —
+        #: lets ``explain_search`` tell "0 pruned" from "pruning n/a"
+        #: (e.g. a single-matmul space where no candidate has a sibling).
+        self.pruning_applicable = False
 
     def __len__(self) -> int:
         return len(self.records)
@@ -120,6 +186,7 @@ class SearchTrace:
     def add(self, plan: DeploymentPlan, origin: str = ORIGIN_ADHOC,
             step: int | None = None,
             parent: int | None = None) -> CandidateRecord:
+        """Record one priced candidate and return its record."""
         record = CandidateRecord(
             index=len(self.records),
             origin=origin,
@@ -159,9 +226,14 @@ class SearchTrace:
         return record
 
     def prune(self, index: int, reason: str) -> None:
+        """Demote record ``index`` to pruned, remembering why."""
         record = self.records[index]
         record.status = STATUS_PRUNED
         record.reason = reason
+
+    def set_stats(self, stats: SearchStats) -> None:
+        """Attach one search's performance accounting (latest wins)."""
+        self.stats = stats
 
     def index_of(self, plan: DeploymentPlan) -> int | None:
         """Record index of the most recent non-skipped record for ``plan``."""
@@ -214,12 +286,15 @@ class SearchTrace:
         return [r for r in self.records if r.status != STATUS_SKIPPED]
 
     def kept(self) -> list[CandidateRecord]:
+        """Records that survived per-spec tuning."""
         return [r for r in self.records if r.status == STATUS_EVALUATED]
 
     def pruned(self) -> list[CandidateRecord]:
+        """Records priced but beaten by a sibling on their spec."""
         return [r for r in self.records if r.status == STATUS_PRUNED]
 
     def skipped(self) -> list[CandidateRecord]:
+        """Records the search declined to price at all."""
         return [r for r in self.records if r.status == STATUS_SKIPPED]
 
     def frontier_plans(self) -> list[DeploymentPlan]:
@@ -227,6 +302,7 @@ class SearchTrace:
         return list(self._frontier)
 
     def frontier_records(self) -> list[CandidateRecord]:
+        """Records flagged as Pareto-frontier members."""
         return [r for r in self.records if r.on_frontier]
 
     def best_record(self) -> CandidateRecord | None:
@@ -253,11 +329,15 @@ class SearchTrace:
         return chain
 
     def to_dicts(self) -> list[dict]:
+        """Every record as a JSON-ready dict, in evaluation order."""
         return [record.to_dict() for record in self.records]
 
     def clear(self) -> None:
+        """Forget all records, the frontier, and the search stats."""
         self.records.clear()
         self._frontier = []
+        self.stats = None
+        self.pruning_applicable = False
 
 
 class NullSearchTrace(SearchTrace):
@@ -266,26 +346,31 @@ class NullSearchTrace(SearchTrace):
     enabled = False
 
     def add(self, plan, origin=ORIGIN_ADHOC, step=None, parent=None):
+        """Return a throwaway record without storing anything."""
         return CandidateRecord(index=-1, origin=origin, instance="",
                                nodes=0, slots=0, tile_size=0, matmul="")
 
     def add_skipped(self, instance, nodes, slots, reason,
                     origin=ORIGIN_ADHOC, step=None, parent=None):
+        """Return a throwaway skipped record without storing anything."""
         return CandidateRecord(index=-1, origin=origin, instance=instance,
                                nodes=nodes, slots=slots, tile_size=0,
                                matmul="", status=STATUS_SKIPPED)
 
     def prune(self, index, reason):
-        pass
+        """No-op."""
+
+    def set_stats(self, stats):
+        """No-op."""
 
     def mark_frontier(self, frontier):
-        pass
+        """No-op."""
 
     def mark_deadline(self, deadline_seconds):
-        pass
+        """No-op."""
 
     def mark_budget(self, budget_dollars):
-        pass
+        """No-op."""
 
 
 #: Shared default instance (stateless, so sharing is safe).

@@ -94,6 +94,7 @@ class TraceEvent:
         return self.end - self.start
 
     def is_task(self) -> bool:
+        """Whether this interval is schedulable map/reduce work."""
         return self.phase in TASK_PHASES
 
 
@@ -122,10 +123,12 @@ class Trace:
         return [event for event in self.events if event.is_task()]
 
     def successful_task_events(self) -> list[TraceEvent]:
+        """Task attempts that ran to completion."""
         return [event for event in self.task_events()
                 if event.status == STATUS_SUCCESS]
 
     def span_events(self) -> list[TraceEvent]:
+        """Profiling spans (compiler/optimizer/executor stages)."""
         return [event for event in self.events if event.phase == PHASE_SPAN]
 
     def task_ids(self) -> set[str]:
@@ -133,9 +136,11 @@ class Trace:
         return {event.task_id for event in self.successful_task_events()}
 
     def job_ids(self) -> set[str]:
+        """Ids of jobs with at least one task attempt."""
         return {event.job_id for event in self.events if event.is_task()}
 
     def events_for_job(self, job_id: str) -> list[TraceEvent]:
+        """Every event tagged with ``job_id``, in recorded order."""
         return [event for event in self.events if event.job_id == job_id]
 
     def by_slot(self) -> dict[str, list[TraceEvent]]:
@@ -220,6 +225,7 @@ class TraceRecorder:
     enabled: bool = True
 
     def record(self, event: TraceEvent) -> None:
+        """Accept one event (or drop it; subclass's choice)."""
         raise NotImplementedError
 
     def now(self) -> float:
@@ -231,6 +237,7 @@ class TraceRecorder:
         raise NotImplementedError
 
     def trace(self) -> Trace:
+        """Everything recorded so far, as a :class:`Trace`."""
         raise NotImplementedError
 
 
@@ -255,15 +262,18 @@ class NullRecorder(TraceRecorder):
     enabled = False
 
     def record(self, event: TraceEvent) -> None:
-        pass
+        """No-op."""
 
     def now(self) -> float:
+        """Always 0.0; the null recorder has no clock."""
         return 0.0
 
     def span(self, name: str, category: str = "span") -> _NullSpan:
+        """The shared zero-cost span."""
         return _NULL_SPAN
 
     def trace(self) -> Trace:
+        """An empty trace."""
         return Trace(source="null")
 
 
@@ -318,13 +328,16 @@ class InMemoryRecorder(TraceRecorder):
         self._lock = threading.Lock()
 
     def record(self, event: TraceEvent) -> None:
+        """Append one event (thread-safe)."""
         with self._lock:
             self._events.append(event)
 
     def now(self) -> float:
+        """Wall-clock seconds since this recorder was created."""
         return self._clock() - self._epoch
 
     def span(self, name: str, category: str = "span") -> _SpanContext:
+        """Context manager recording the block as a span event."""
         return _SpanContext(self, name, category)
 
     def trace(self) -> Trace:
@@ -335,5 +348,6 @@ class InMemoryRecorder(TraceRecorder):
         return Trace(source=self.source, events=events)
 
     def clear(self) -> None:
+        """Forget everything recorded so far."""
         with self._lock:
             self._events.clear()

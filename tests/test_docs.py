@@ -1,0 +1,55 @@
+"""Tier-1 documentation gate: docstring coverage and markdown link health.
+
+Runs the same checks as the CI docs job (``tools/doccheck.py``): the core
+and observability packages must stay >=80% docstring-covered, and every
+relative link in ``docs/`` and the README must resolve — file and anchor.
+Keeping this in tier-1 means a renamed doc heading or an undocumented new
+module fails locally, not just in CI.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import doccheck  # noqa: E402
+
+
+class TestDocstringCoverage:
+    def test_core_and_observability_meet_gate(self):
+        report = doccheck.docstring_coverage()
+        assert report.total > 100, "coverage walk found too few definitions"
+        missing = "\n".join(report.missing)
+        assert report.percent >= doccheck.FAIL_UNDER, (
+            f"docstring coverage {report.percent:.1f}% is below the "
+            f"{doccheck.FAIL_UNDER:.0f}% gate; undocumented:\n{missing}")
+
+
+class TestMarkdownLinks:
+    def test_no_broken_links_or_anchors(self):
+        errors = doccheck.check_links()
+        assert errors == []
+
+    def test_checker_sees_the_experiment_book(self):
+        files = list(doccheck._iter_markdown_files(REPO_ROOT))
+        names = {path.name for path in files}
+        assert "benchmarks.md" in names and "README.md" in names
+
+    def test_slugging_matches_github(self):
+        assert doccheck.github_slug("Metrics & search telemetry") \
+            == "metrics--search-telemetry"
+        assert doccheck.github_slug("E22 — Fast optimizer search") \
+            == "e22--fast-optimizer-search"
+        assert doccheck.github_slug("Search performance") \
+            == "search-performance"
+
+    def test_broken_link_is_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text(
+            "# A\n[dead](missing.md) [bad](a.md#nope) [ok](a.md#a)\n")
+        errors = doccheck.check_links(root=tmp_path)
+        assert len(errors) == 2
+        assert any("missing.md" in e for e in errors)
+        assert any("#nope" in e for e in errors)

@@ -1,0 +1,178 @@
+"""Differential tests: the fast search must equal the sequential one.
+
+The memoized / parallel / early-aborting optimizer is only allowed to be
+*faster* — the chosen plan, the Pareto frontier, and the search trace must
+be bit-identical to a sequential optimizer pricing every candidate from
+scratch (``NULL_EVAL_CACHE``, ``workers=0``, ``early_abort=False``).
+These tests lock that guarantee on GNMF, including a reliability-aware
+run with seeded failure scenarios.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import build_workload, main
+from repro.cloud import get_instance_type
+from repro.core.evalcache import NULL_EVAL_CACHE
+from repro.core.optimizer import (
+    DeploymentOptimizer,
+    ReliabilityModel,
+    SearchSpace,
+)
+from repro.core.physical import MatMulParams
+from repro.errors import ValidationError
+from repro.observability import SearchTrace
+
+
+def gnmf_space():
+    return SearchSpace(
+        instance_types=(get_instance_type("m1.large"),
+                        get_instance_type("c1.xlarge")),
+        node_counts=(1, 2, 4),
+        slots_options=(2,),
+        matmul_options=(MatMulParams(1, 1, 1), MatMulParams(1, 1, 2)),
+    )
+
+
+def make_optimizer(fast: bool, trace=None):
+    """``fast=False`` is the sequential baseline the fast path must match."""
+    program, tile = build_workload("gnmf", "tiny")
+    kwargs = {}
+    if trace is not None:
+        kwargs["search_trace"] = trace
+    if fast:
+        kwargs["workers"] = 4  # default cache stays enabled
+    else:
+        kwargs["cache"] = NULL_EVAL_CACHE
+        kwargs["workers"] = 0
+    return DeploymentOptimizer(program, tile_size=tile, **kwargs)
+
+
+def reliability():
+    # Scenario seeds vary per index, so each draw is distinct but
+    # reproducible — exactly what the memo key must distinguish.
+    return ReliabilityModel(crash_rate_per_hour=0.3, scenarios=3, seed=7)
+
+
+class TestDifferentialGrid:
+    def test_identical_plans_and_frontier(self):
+        slow_trace, fast_trace = SearchTrace(), SearchTrace()
+        slow = make_optimizer(fast=False, trace=slow_trace)
+        fast = make_optimizer(fast=True, trace=fast_trace)
+        slow_frontier = slow.skyline(gnmf_space())
+        fast_frontier = fast.skyline(gnmf_space())
+        assert fast_frontier == slow_frontier
+        assert fast_trace.to_dicts() == slow_trace.to_dicts()
+        assert fast_trace.frontier_plans() == slow_trace.frontier_plans()
+
+    def test_identical_deadline_solution(self):
+        slow = make_optimizer(fast=False)
+        fast = make_optimizer(fast=True)
+        deadline = 3600.0
+        assert (fast.minimize_cost_under_deadline(deadline, gnmf_space())
+                == slow.minimize_cost_under_deadline(deadline, gnmf_space()))
+
+    def test_repeat_search_hits_cache(self):
+        fast = make_optimizer(fast=True)
+        first = fast.enumerate_plans(gnmf_space())
+        hits_before = fast.cache.hits
+        second = fast.enumerate_plans(gnmf_space())
+        assert second == first
+        # The entire second pass must be served from the memo.
+        assert fast.cache.hits - hits_before >= len(first)
+
+    def test_stats_attached_to_trace(self):
+        trace = SearchTrace()
+        fast = make_optimizer(fast=True, trace=trace)
+        fast.enumerate_plans(gnmf_space())
+        fast.enumerate_plans(gnmf_space())
+        stats = trace.stats
+        assert stats is not None
+        assert stats.sim_requests > 0
+        assert stats.cache_hits == stats.sim_requests  # all repeats
+        assert stats.hit_rate == 1.0
+        assert stats.sims_executed == 0
+        assert stats.workers == 4
+        assert stats.estimated_speedup > 1.0
+
+
+class TestDifferentialReliable:
+    def test_identical_reliable_solution(self):
+        slow = make_optimizer(fast=False)
+        fast = make_optimizer(fast=True)
+        deadline = 7200.0
+        model = reliability()
+        baseline = slow.minimize_cost_under_deadline_reliable(
+            deadline, model, gnmf_space(), early_abort=False)
+        quick = fast.minimize_cost_under_deadline_reliable(
+            deadline, model, gnmf_space(), early_abort=True)
+        assert quick.plan == baseline.plan
+        assert quick.scenario_seconds == baseline.scenario_seconds
+        assert quick.scenario_costs == baseline.scenario_costs
+        assert quick.mean_cost == baseline.mean_cost
+        assert quick.p95_seconds == baseline.p95_seconds
+
+    def test_early_abort_skips_scenarios(self):
+        fast = make_optimizer(fast=True)
+        deadline = 7200.0
+        fast.minimize_cost_under_deadline_reliable(
+            deadline, reliability(), gnmf_space(), early_abort=True)
+        assert fast._scenarios_skipped > 0
+
+    def test_sequential_early_abort_alone_matches(self):
+        """Early abort must be sound on its own (no cache, no threads)."""
+        baseline = make_optimizer(fast=False)
+        pruned = make_optimizer(fast=False)
+        deadline = 7200.0
+        a = baseline.minimize_cost_under_deadline_reliable(
+            deadline, reliability(), gnmf_space(), early_abort=False)
+        b = pruned.minimize_cost_under_deadline_reliable(
+            deadline, reliability(), gnmf_space(), early_abort=True)
+        assert b.plan == a.plan
+        assert b.scenario_seconds == a.scenario_seconds
+
+
+class TestWorkerValidation:
+    def test_negative_workers_rejected(self):
+        program, tile = build_workload("gnmf", "tiny")
+        with pytest.raises(ValidationError):
+            DeploymentOptimizer(program, tile_size=tile, workers=-1)
+
+
+class TestExplainSearchPerf:
+    """Acceptance: ``repro explain --search`` reports the cache hit rate."""
+
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_perf_block_printed(self):
+        code, text = self.run_cli(
+            "explain", "gnmf", "--scale", "tiny", "--search",
+            "--workers", "2", "--instances", "m1.large",
+            "--node-counts", "2,4", "--slot-options", "2")
+        assert code == 0
+        assert "search performance:" in text
+        assert "hit rate" in text
+        assert "workers=2" in text
+        assert "vs uncached sequential" in text
+        # Perf lines must not masquerade as candidate lines.
+        perf_lines = [l for l in text.splitlines()
+                      if "search performance" in l or "workers=" in l]
+        assert all(not l.strip().startswith("#") for l in perf_lines)
+
+    def test_workers_output_identical_to_sequential(self):
+        argv = ("explain", "gnmf", "--scale", "tiny", "--search",
+                "--instances", "m1.large", "--node-counts", "2,4",
+                "--slot-options", "2")
+        __, sequential = self.run_cli(*argv)
+        __, parallel = self.run_cli(*argv, "--workers", "4")
+        strip = ("search performance", "workers=")
+
+        def body(text):
+            return [l for l in text.splitlines()
+                    if not any(s in l for s in strip)]
+
+        assert body(parallel) == body(sequential)

@@ -1,0 +1,182 @@
+"""Documentation quality gate: docstring coverage + markdown link check.
+
+Two checks, both stdlib-only so they run anywhere the tests run:
+
+* **Docstring coverage** over ``src/repro/core`` and
+  ``src/repro/observability`` — every module, public class, and public
+  function/method counts, except ``__init__`` and ``@property`` accessors
+  (matching interrogate's ``--ignore-init-method
+  --ignore-property-decorators``); the gate fails below 80%.  CI
+  additionally runs ``interrogate`` with the same flags and threshold;
+  this module is the dependency-free equivalent that keeps the gate
+  enforceable locally (tier-1, via ``tests/test_docs.py``).
+* **Markdown links** in ``docs/`` and ``README.md`` — every relative link
+  must point at an existing file, and every ``#anchor`` must match a
+  heading in the target (GitHub-style slugs).  External ``http(s)``/
+  ``mailto`` links are not fetched.
+
+Run directly for a report::
+
+    python tools/doccheck.py
+
+Exit status 0 iff both gates pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages the docstring gate covers, and the threshold it enforces.
+COVERED_PACKAGES = ("src/repro/core", "src/repro/observability")
+FAIL_UNDER = 80.0
+
+#: Markdown sources the link checker walks.
+MARKDOWN_ROOTS = ("docs", "README.md")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+# -- docstring coverage ------------------------------------------------------
+
+@dataclass
+class CoverageReport:
+    total: int = 0
+    documented: int = 0
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.documented / self.total if self.total else 100.0
+
+
+#: Decorators whose defs are accessors, not API surface (interrogate's
+#: ``--ignore-property-decorators``).
+PROPERTY_DECORATORS = {"property", "cached_property", "setter", "deleter"}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_property(node) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Name) \
+                and decorator.id in PROPERTY_DECORATORS:
+            return True
+        if isinstance(decorator, ast.Attribute) \
+                and decorator.attr in PROPERTY_DECORATORS:
+            return True
+    return False
+
+
+def _count_node(report: CoverageReport, node, label: str) -> None:
+    report.total += 1
+    if ast.get_docstring(node):
+        report.documented += 1
+    else:
+        report.missing.append(label)
+
+
+def _walk_defs(report: CoverageReport, parent, prefix: str) -> None:
+    for node in parent.body if hasattr(parent, "body") else []:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not _is_public(node.name) or _is_property(node):
+                continue
+            label = f"{prefix}{node.name}"
+            _count_node(report, node, label)
+            if isinstance(node, ast.ClassDef):
+                _walk_defs(report, node, f"{label}.")
+
+
+def docstring_coverage(packages=COVERED_PACKAGES,
+                       root: Path = REPO_ROOT) -> CoverageReport:
+    """Docstring coverage over every module/class/def in ``packages``."""
+    report = CoverageReport()
+    for package in packages:
+        for path in sorted((root / package).rglob("*.py")):
+            rel = path.relative_to(root)
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            _count_node(report, tree, f"{rel} (module)")
+            _walk_defs(report, tree, f"{rel}:")
+    return report
+
+
+# -- markdown links ----------------------------------------------------------
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    without_code = CODE_FENCE_RE.sub("", markdown)
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(without_code)}
+
+
+def _iter_markdown_files(root: Path):
+    for entry in MARKDOWN_ROOTS:
+        path = root / entry
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.exists():
+            yield path
+
+
+def check_links(root: Path = REPO_ROOT) -> list[str]:
+    """Broken relative links/anchors in the markdown tree, as messages."""
+    errors: list[str] = []
+    for md_file in _iter_markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        source = CODE_FENCE_RE.sub("", text)
+        for match in LINK_RE.finditer(source):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            rel = md_file.relative_to(root)
+            if path_part:
+                resolved = (md_file.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = md_file
+            if anchor and resolved.suffix == ".md":
+                slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+                if anchor not in slugs:
+                    errors.append(f"{rel}: missing anchor -> {target}")
+    return errors
+
+
+# -- entry point -------------------------------------------------------------
+
+def main(argv=None) -> int:
+    report = docstring_coverage()
+    print(f"docstring coverage: {report.documented}/{report.total} "
+          f"({report.percent:.1f}%), gate {FAIL_UNDER:.0f}%")
+    failed = False
+    if report.percent < FAIL_UNDER:
+        failed = True
+        for label in report.missing:
+            print(f"  undocumented: {label}")
+    link_errors = check_links()
+    print(f"markdown links: {len(link_errors)} broken")
+    for error in link_errors:
+        failed = True
+        print(f"  {error}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
