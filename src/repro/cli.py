@@ -25,8 +25,21 @@ Commands
     the unified trace/metrics schemas, ``--advise-checkpoint`` prints the
     spot-market checkpoint-interval advice.
 
+``submit SCRIPT WORKLOAD --tenant NAME``
+    Append a timed job submission (creating the script file on first use)
+    to a JSON submission script for the multi-tenant job service.
+``serve SCRIPT``
+    Replay a submission script on the shared-cluster job service and
+    print the per-tenant report (latency percentiles, fairness, dollars).
+
 ``trace`` and ``metrics`` also accept ``--scenario``/``--chaos-seed`` to
 inject the same seeded failures into their simulated runs.
+
+Shared flags are hoisted into parent parsers so every command spells them
+the same way: ``--scenario``/``--chaos-seed`` (failure injection),
+``--workers`` (thread pools), ``--instance``/``--nodes``/``--slots``
+(cluster shape), the ``WORKLOAD``/``--scale`` pair, and ``--json``
+(machine-readable output) which **every** subcommand honors.
 
 Workloads are the paper's evaluation programs at preset scales
 (``--scale tiny|small|medium|large``; ``tiny`` is sized for real local
@@ -36,7 +49,9 @@ execution with ``trace --diff``).
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
+from pathlib import Path
 
 from repro.cloud import EC2_CATALOG, ClusterSpec, get_instance_type
 from repro.cloud.spot import SpotMarket
@@ -61,7 +76,6 @@ from repro.core.explain import (
 )
 from repro.core.optimizer import DeploymentOptimizer, SearchSpace
 from repro.core.physical import PhysicalContext
-from repro.core.program import Program
 from repro.core.simcost import simulate_program
 from repro.errors import ReproError
 from repro.observability import (
@@ -81,24 +95,8 @@ from repro.observability import (
     to_prometheus,
     trace_diff,
 )
-from repro.workloads import (
-    build_gnmf_program,
-    build_soft_kmeans_program,
-    build_logistic_program,
-    build_multiply_program,
-    build_normal_equations_program,
-    build_pca_program,
-    build_power_iteration_program,
-    build_rsvd_program,
-)
-
-#: scale name -> (rows-ish base dimension, tile size)
-SCALES = {
-    "tiny": (1024, 256),
-    "small": (8192, 1024),
-    "medium": (32768, 2048),
-    "large": (131072, 4096),
-}
+from repro.service.scheduler import POLICIES, POLICY_FAIR
+from repro.workloads import SCALES, WORKLOAD_NAMES, build_workload
 
 
 def package_version() -> str:
@@ -111,37 +109,23 @@ def package_version() -> str:
         return repro.__version__
 
 
-def build_workload(name: str, scale: str) -> tuple[Program, int]:
-    """Instantiate a named workload at a preset scale."""
-    if scale not in SCALES:
-        raise ReproError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
-    base, tile = SCALES[scale]
-    if name == "multiply":
-        return build_multiply_program(base, base, base), tile
-    if name == "gnmf":
-        return build_gnmf_program(base, base // 2, 128, iterations=3), tile
-    if name == "rsvd":
-        return build_rsvd_program(base, base // 4, 2048,
-                                  power_iterations=1), tile
-    if name == "regression":
-        return build_normal_equations_program(base * 8, 4096), tile
-    if name == "pagerank":
-        return build_power_iteration_program(base, iterations=5,
-                                             adjacency_density=0.001), tile
-    if name == "logistic":
-        return build_logistic_program(base * 4, 2048, iterations=3,
-                                      learning_rate=0.01), tile
-    if name == "pca":
-        return build_pca_program(base * 4, 4096, 512), tile
-    if name == "kmeans":
-        return build_soft_kmeans_program(base * 4, 2048, 64,
-                                         iterations=3), tile
-    known = ("multiply, gnmf, rsvd, regression, pagerank, logistic, "
-             "pca, kmeans")
-    raise ReproError(f"unknown workload {name!r}; choose from: {known}")
+def emit_json(document, out) -> int:
+    """Print ``document`` as pretty JSON (the ``--json`` output path)."""
+    print(_json.dumps(document, indent=2, sort_keys=True), file=out)
+    return 0
 
 
 def cmd_catalog(args, out) -> int:
+    if args.json:
+        return emit_json([
+            {"name": instance.name, "cores": instance.cores,
+             "memory_gb": instance.memory_gb,
+             "disk_MBps": instance.disk_bandwidth / 2**20,
+             "network_MBps": instance.network_bandwidth / 2**20,
+             "core_speed": instance.core_speed,
+             "price_per_hour": instance.price_per_hour}
+            for instance in EC2_CATALOG.values()
+        ], out)
     print(f"{'name':<12} {'cores':>5} {'mem_gb':>7} {'disk_MBps':>10} "
           f"{'net_MBps':>9} {'speed':>6} {'$/hour':>7}", file=out)
     for instance in EC2_CATALOG.values():
@@ -185,22 +169,27 @@ def cmd_explain(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
     if args.search:
         trace = SearchTrace()
+        workers = args.workers if args.workers is not None else 0
         optimizer = DeploymentOptimizer(program, tile_size=tile,
                                         search_trace=trace,
-                                        workers=args.search_workers)
+                                        workers=workers)
         space = build_search_space(args)
         optimizer.skyline(space)
         if args.deadline is not None:
             trace.mark_deadline(args.deadline * 60.0)
         elif args.budget is not None:
             trace.mark_budget(args.budget)
-        print(explain_search(trace), file=out)
-        return 0
-    compiled = compile_program(program, PhysicalContext(tile))
-    if args.dot:
-        print(dag_to_dot(compiled.dag, name=program.name), file=out)
+        document = explain_search(trace)
     else:
-        print(explain_program(compiled), file=out)
+        compiled = compile_program(program, PhysicalContext(tile))
+        if args.dot:
+            document = dag_to_dot(compiled.dag, name=program.name)
+        else:
+            document = explain_program(compiled)
+    if args.json:
+        return emit_json({"workload": args.workload, "scale": args.scale,
+                          "explain": document}, out)
+    print(document, file=out)
     return 0
 
 
@@ -210,6 +199,10 @@ def cmd_simulate(args, out) -> int:
                        args.slots)
     compiled = compile_program(program, PhysicalContext(tile))
     estimate = simulate_program(compiled.dag, spec, CumulonCostModel())
+    if args.json:
+        return emit_json({"workload": args.workload, "scale": args.scale,
+                          "cluster": spec.describe(),
+                          "estimated_seconds": estimate.seconds}, out)
     print(estimate.describe(), file=out)
     return 0
 
@@ -222,10 +215,22 @@ def cmd_optimize(args, out) -> int:
     if args.deadline is not None:
         plan = optimizer.minimize_cost_under_deadline(args.deadline * 60.0,
                                                       space)
-        print(f"cheapest plan within {args.deadline:g} min:", file=out)
+        headline = f"cheapest plan within {args.deadline:g} min:"
     else:
         plan = optimizer.minimize_time_under_budget(args.budget, space)
-        print(f"fastest plan within ${args.budget:.2f}:", file=out)
+        headline = f"fastest plan within ${args.budget:.2f}:"
+    if args.json:
+        return emit_json({
+            "workload": args.workload, "scale": args.scale,
+            "constraint": ({"deadline_minutes": args.deadline}
+                           if args.deadline is not None
+                           else {"budget_dollars": args.budget}),
+            "cluster": plan.spec.describe(),
+            "tile_size": plan.tile_size,
+            "estimated_seconds": plan.estimated_seconds,
+            "estimated_cost": plan.estimated_cost,
+        }, out)
+    print(headline, file=out)
     print(explain_plan(plan), file=out)
     return 0
 
@@ -278,11 +283,14 @@ def cmd_trace(args, out) -> int:
         inputs = {name: rng.random(var.shape) * 0.9 + 0.1
                   for name, var in program.inputs.items()}
         actual_recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
-        executor = CumulonExecutor(tile_size=tile, max_workers=args.workers,
+        workers = args.workers if args.workers is not None else 2
+        executor = CumulonExecutor(tile_size=tile, max_workers=workers,
                                    recorder=actual_recorder)
         executor.run(program, inputs)
         traces.append(actual_recorder.trace())
         diff_text = explain_trace_diff(trace_diff(traces[0], traces[1]))
+    if args.json:
+        args.format = "chrome"  # --json means the machine-readable format
     if args.format == "chrome":
         document = chrome_trace_json(traces, indent=2)
     elif args.format == "csv":
@@ -313,6 +321,8 @@ def cmd_metrics(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
     spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
                        args.slots)
+    if args.json:
+        args.format = "json"  # --json means the machine-readable format
     registry = MetricsRegistry()
     cost_meter = None
     if args.budget is not None or args.deadline is not None:
@@ -351,7 +361,8 @@ def cmd_metrics(args, out) -> int:
         print(f"wrote {args.format} metrics to {args.out}", file=out)
     else:
         print(document, file=out)
-    if cost_meter is not None:
+    if cost_meter is not None and not args.json:
+        # (with --json the cost summary is already inside the document)
         print(cost_meter.describe(), file=out)
     return 0
 
@@ -366,12 +377,29 @@ def cmd_chaos(args, out) -> int:
     registry = MetricsRegistry() if args.metrics_out else None
     report = run_chaos(
         compiled.dag, spec, CumulonCostModel(),
-        scenario=args.scenario, seed=args.seed, recovery=args.recovery,
+        scenario=args.scenario, seed=args.chaos_seed,
+        recovery=args.recovery,
         input_files=_workload_input_files(program),
         min_live_nodes=args.min_live_nodes,
         recorder=recorder if recorder is not None else NULL_RECORDER,
         metrics=registry if registry is not None else NULL_METRICS)
-    print(report.describe(), file=out)
+    if args.json:
+        emit_json({
+            "workload": args.workload, "scale": args.scale,
+            "scenario": report.scenario, "seed": report.seed,
+            "recovery": report.recovery, "cluster": spec.describe(),
+            "completed": report.completed,
+            "baseline_seconds": report.baseline_seconds,
+            "makespan_seconds": (report.makespan_seconds
+                                 if report.completed else None),
+            "nodes_lost": len(report.nodes_lost),
+            "attempts_lost": report.attempts_lost,
+            "reexecuted_tasks": report.reexecuted_tasks,
+            "rereplicated_bytes": report.rereplicated_bytes,
+            "abort_reason": report.abort_reason,
+        }, out)
+    else:
+        print(report.describe(), file=out)
     if args.trace_out:
         document = chrome_trace_json([recorder.trace()], indent=2)
         try:
@@ -383,7 +411,7 @@ def cmd_chaos(args, out) -> int:
         print(f"wrote chrome trace to {args.trace_out}", file=out)
     if args.metrics_out:
         extra = {"workload": args.workload, "scale": args.scale,
-                 "scenario": args.scenario, "seed": args.seed,
+                 "scenario": args.scenario, "seed": args.chaos_seed,
                  "recovery": args.recovery,
                  "cluster": spec.describe(),
                  "completed": report.completed,
@@ -398,13 +426,139 @@ def cmd_chaos(args, out) -> int:
             raise ReproError(
                 f"cannot write {args.metrics_out}: {error}") from error
         print(f"wrote json metrics to {args.metrics_out}", file=out)
-    if args.advise_checkpoint:
+    if args.advise_checkpoint and not args.json:
         advice = advise_checkpoint_interval(
             SpotMarket(), bid_fraction=0.35,
             checkpoint_seconds=max(1.0, 0.02 * report.baseline_seconds),
             work_seconds=report.baseline_seconds)
         print(advice.describe(), file=out)
     return 0 if report.completed else 1
+
+
+def _load_script_or_die(load_script, path: Path) -> dict:
+    """Load a submission script, mapping I/O and syntax errors to CLI errors."""
+    try:
+        return load_script(path)
+    except OSError as error:
+        raise ReproError(f"cannot read {path}: {error}") from error
+    except _json.JSONDecodeError as error:
+        raise ReproError(f"{path} is not valid JSON: {error}") from error
+
+
+def cmd_submit(args, out) -> int:
+    """Append one timed job to a JSON submission script (creating it)."""
+    from repro.service.script import load_script, save_script
+
+    path = Path(args.script)
+    if path.exists():
+        script = _load_script_or_die(load_script, path)
+    else:
+        script = {
+            "cluster": {"instance": args.instance, "nodes": args.nodes,
+                        "slots_per_node": args.slots},
+            "policy": args.policy if args.policy else POLICY_FAIR,
+            "tenants": [],
+            "jobs": [],
+        }
+    tenant = next((entry for entry in script["tenants"]
+                   if entry["name"] == args.tenant), None)
+    if tenant is None:
+        tenant = {"name": args.tenant}
+        script["tenants"].append(tenant)
+    if args.budget is not None:
+        tenant["budget_dollars"] = args.budget
+    if args.deadline is not None:
+        tenant["deadline_seconds"] = args.deadline * 60.0
+    if args.weight is not None:
+        tenant["weight"] = args.weight
+    job = {"tenant": args.tenant, "workload": args.workload,
+           "scale": args.scale, "submit_at": args.submit_at}
+    script["jobs"].append(job)
+    save_script(script, path)
+    if args.json:
+        return emit_json({"script": str(path), "jobs": len(script["jobs"]),
+                          "tenants": [entry["name"]
+                                      for entry in script["tenants"]],
+                          "appended": job}, out)
+    print(f"queued {args.workload}/{args.scale} for tenant "
+          f"{args.tenant!r} at t={args.submit_at:g}s "
+          f"({len(script['jobs'])} job(s) in {path})", file=out)
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    """Replay a submission script on the job service and report."""
+    from repro.service.script import load_script, run_script
+
+    script = _load_script_or_die(load_script, Path(args.script))
+    if args.policy:
+        script["policy"] = args.policy
+    workers = args.workers if args.workers is not None else 0
+    report, handles = run_script(script, workers=workers)
+    if args.json:
+        document = report.summary()
+        document["jobs"] = [
+            {"job_id": handle.job_id, "state": handle.status}
+            for handle in handles
+        ]
+        return emit_json(document, out)
+    print(report.describe(), file=out)
+    for handle in handles:
+        print(f"  {handle.job_id}: {handle.status}", file=out)
+    return 0
+
+
+def _json_parent() -> argparse.ArgumentParser:
+    """Parent parser: ``--json``, honored by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    return parent
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``WORKLOAD --scale`` pair."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("workload", help=" | ".join(WORKLOAD_NAMES))
+    parent.add_argument("--scale", default="medium", choices=sorted(SCALES))
+    return parent
+
+
+def _cluster_parent() -> argparse.ArgumentParser:
+    """Parent parser: the cluster shape (``--instance/--nodes/--slots``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--instance", default="m1.large",
+                        help="instance type (see `repro catalog`)")
+    parent.add_argument("--nodes", type=int, default=8)
+    parent.add_argument("--slots", type=int, default=2,
+                        help="task slots per node")
+    return parent
+
+
+def _chaos_parent(required: bool = False) -> argparse.ArgumentParser:
+    """Parent parser: seeded failure injection (``--scenario/--chaos-seed``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scenario", required=required,
+                        default=None, choices=SCENARIOS,
+                        help="inject a seeded failure scenario into the "
+                             "simulated run")
+    parent.add_argument("--chaos-seed", dest="chaos_seed", type=int,
+                        default=0,
+                        help="scenario seed (same seed = same failures)")
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """Parent parser: ``--workers`` thread-pool sizing.
+
+    The default is None so each command can pick its own meaning of
+    "unset" (sequential pricing for searches, 2 threads for real runs).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=None,
+                        help="thread-pool size (default depends on the "
+                             "command; 0 = sequential)")
+    return parent
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -416,24 +570,18 @@ def make_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {package_version()}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("catalog", help="print the instance catalog")
+    as_json = _json_parent()
+    workload = _workload_parent()
+    cluster = _cluster_parent()
+    chaos_injection = _chaos_parent()
+    workers = _workers_parent()
 
-    def add_workload_args(sub):
-        sub.add_argument("workload",
-                         help="multiply | gnmf | rsvd | regression | "
-                              "pagerank | logistic | pca | kmeans")
-        sub.add_argument("--scale", default="medium",
-                         choices=sorted(SCALES))
+    subparsers.add_parser("catalog", parents=[as_json],
+                          help="print the instance catalog")
 
-    def add_chaos_injection_args(sub):
-        sub.add_argument("--scenario", default=None, choices=SCENARIOS,
-                         help="inject a seeded failure scenario into the "
-                              "simulated run")
-        sub.add_argument("--chaos-seed", dest="chaos_seed", type=int,
-                         default=0, help="scenario seed (with --scenario)")
-
-    explain = subparsers.add_parser("explain", help="EXPLAIN a workload")
-    add_workload_args(explain)
+    explain = subparsers.add_parser("explain", parents=[workload, workers,
+                                                        as_json],
+                                    help="EXPLAIN a workload")
     explain.add_argument("--dot", action="store_true",
                          help="emit Graphviz source instead of text")
     explain.add_argument("--search", action="store_true",
@@ -445,10 +593,6 @@ def make_parser() -> argparse.ArgumentParser:
     explain.add_argument("--node-counts", dest="node_counts", default=None,
                          help="comma-separated cluster sizes to search "
                               "(with --search)")
-    explain.add_argument("--workers", dest="search_workers", type=int,
-                         default=0,
-                         help="thread-pool size for candidate pricing "
-                              "(with --search; 0 = sequential)")
     explain.add_argument("--slot-options", dest="slot_options", default=None,
                          help="comma-separated slots-per-node options "
                               "(with --search)")
@@ -460,16 +604,13 @@ def make_parser() -> argparse.ArgumentParser:
                                help="annotate candidates against a budget "
                                     "in dollars (with --search)")
 
-    simulate = subparsers.add_parser(
-        "simulate", help="predict wall-clock on one cluster")
-    add_workload_args(simulate)
-    simulate.add_argument("--instance", default="m1.large")
-    simulate.add_argument("--nodes", type=int, default=8)
-    simulate.add_argument("--slots", type=int, default=2)
+    subparsers.add_parser(
+        "simulate", parents=[workload, cluster, as_json],
+        help="predict wall-clock on one cluster")
 
     optimize = subparsers.add_parser(
-        "optimize", help="search deployments under a constraint")
-    add_workload_args(optimize)
+        "optimize", parents=[workload, as_json],
+        help="search deployments under a constraint")
     group = optimize.add_mutually_exclusive_group(required=True)
     group.add_argument("--deadline", type=float,
                        help="deadline in minutes (minimize cost)")
@@ -477,11 +618,9 @@ def make_parser() -> argparse.ArgumentParser:
                        help="budget in dollars (minimize time)")
 
     trace = subparsers.add_parser(
-        "trace", help="emit an execution trace (chrome://tracing, CSV)")
-    add_workload_args(trace)
-    trace.add_argument("--instance", default="m1.large")
-    trace.add_argument("--nodes", type=int, default=8)
-    trace.add_argument("--slots", type=int, default=2)
+        "trace", parents=[workload, cluster, chaos_injection, workers,
+                          as_json],
+        help="emit an execution trace (chrome://tracing, CSV)")
     trace.add_argument("--format", default="chrome",
                        choices=("chrome", "csv", "summary"))
     trace.add_argument("--out", default=None,
@@ -489,16 +628,10 @@ def make_parser() -> argparse.ArgumentParser:
     trace.add_argument("--diff", action="store_true",
                        help="also run the workload for real (use --scale "
                             "tiny) and report predicted-vs-actual error")
-    trace.add_argument("--workers", type=int, default=2,
-                       help="thread-pool size for the --diff real run")
-    add_chaos_injection_args(trace)
 
     metrics = subparsers.add_parser(
-        "metrics", help="simulate with telemetry on and emit the metrics")
-    add_workload_args(metrics)
-    metrics.add_argument("--instance", default="m1.large")
-    metrics.add_argument("--nodes", type=int, default=8)
-    metrics.add_argument("--slots", type=int, default=2)
+        "metrics", parents=[workload, cluster, chaos_injection, as_json],
+        help="simulate with telemetry on and emit the metrics")
     metrics.add_argument("--format", default="dashboard",
                          choices=("prom", "json", "csv", "dashboard"))
     metrics.add_argument("--out", default=None,
@@ -508,17 +641,14 @@ def make_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--deadline", type=float, default=None,
                          help="watch elapsed time against this deadline "
                               "in minutes")
-    add_chaos_injection_args(metrics)
 
     chaos = subparsers.add_parser(
-        "chaos", help="run a workload under a seeded failure scenario")
-    add_workload_args(chaos)
-    chaos.add_argument("--instance", default="m1.large")
-    chaos.add_argument("--nodes", type=int, default=8)
-    chaos.add_argument("--slots", type=int, default=2)
-    chaos.add_argument("--scenario", required=True, choices=SCENARIOS)
-    chaos.add_argument("--seed", type=int, default=0,
-                       help="scenario seed (same seed = same failures)")
+        "chaos", parents=[workload, cluster, _chaos_parent(required=True),
+                          as_json],
+        help="run a workload under a seeded failure scenario")
+    chaos.add_argument("--seed", dest="chaos_seed", type=int,
+                       default=argparse.SUPPRESS,
+                       help="alias for --chaos-seed")
     chaos.add_argument("--recovery", default=RECOVERY_RESUME,
                        choices=(RECOVERY_RESUME, RECOVERY_RESTART),
                        help="resume on survivors (checkpoint-by-HDFS) or "
@@ -533,6 +663,37 @@ def make_parser() -> argparse.ArgumentParser:
                        action="store_true",
                        help="also print the spot-market checkpoint-interval "
                             "advice for this workload")
+
+    submit = subparsers.add_parser(
+        "submit", parents=[cluster, as_json],
+        help="append a timed job to a service submission script")
+    submit.add_argument("script",
+                        help="JSON submission script (created on first use; "
+                             "the cluster flags only apply then)")
+    submit.add_argument("workload", help=" | ".join(WORKLOAD_NAMES))
+    submit.add_argument("--scale", default="medium", choices=sorted(SCALES))
+    submit.add_argument("--tenant", required=True,
+                        help="tenant the job bills to")
+    submit.add_argument("--submit-at", dest="submit_at", type=float,
+                        default=0.0,
+                        help="virtual-clock arrival time in seconds")
+    submit.add_argument("--budget", type=float, default=None,
+                        help="set the tenant's total budget in dollars")
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="set the tenant's per-job deadline in minutes")
+    submit.add_argument("--weight", type=float, default=None,
+                        help="set the tenant's fair-share weight")
+    submit.add_argument("--policy", default=None, choices=POLICIES,
+                        help="scheduling policy (applies when the script "
+                             "is created)")
+
+    serve = subparsers.add_parser(
+        "serve", parents=[workers, as_json],
+        help="replay a submission script on the multi-tenant job service")
+    serve.add_argument("script", help="JSON submission script to replay")
+    serve.add_argument("--policy", default=None, choices=POLICIES,
+                       help="override the script's scheduling policy")
+
     return parser
 
 
@@ -544,6 +705,8 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "chaos": cmd_chaos,
+    "submit": cmd_submit,
+    "serve": cmd_serve,
 }
 
 

@@ -1,0 +1,47 @@
+"""Back-compat shims for renamed keyword arguments.
+
+PR 5 unified the divergent spellings for the physical-plan knobs
+(``params`` vs tuned params) on the single name ``compiler_params``
+across :class:`~repro.core.session.CumulonSession`,
+:class:`~repro.core.executor.CumulonExecutor`, and
+:class:`~repro.core.optimizer.DeploymentOptimizer`.  The old spellings
+keep working through :func:`resolve_renamed_kwarg`, which emits a
+:class:`DeprecationWarning` pointing at the new name.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.errors import ValidationError
+
+#: Sentinel distinguishing "caller omitted the kwarg" from "caller passed
+#: None" (None is a meaningful value for most of the renamed kwargs).
+_UNSET = object()
+
+
+def warn_renamed(where: str, old_name: str, new_name: str) -> None:
+    """Emit the standard deprecation warning for a renamed kwarg."""
+    warnings.warn(
+        f"{where}: the {old_name!r} argument is deprecated; "
+        f"use {new_name!r} instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def resolve_renamed_kwarg(where: str, old_name: str, new_name: str,
+                          old_value, new_value, default=None):
+    """Pick between a renamed kwarg's old and new spellings.
+
+    ``old_value``/``new_value`` are what the caller passed (``default``
+    meaning "not passed" — callers use ``None`` when ``None`` is not
+    itself meaningful).  Passing both spellings is an error; passing the
+    old one warns and is honored.
+    """
+    if old_value is default:
+        return new_value
+    if new_value is not default:
+        raise ValidationError(
+            f"{where}: pass {new_name!r} or the deprecated {old_name!r}, "
+            f"not both")
+    warn_renamed(where, old_name, new_name)
+    return old_value

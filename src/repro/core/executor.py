@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.compat import resolve_renamed_kwarg, warn_renamed
 from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
 from repro.core.physical import PhysicalContext
 from repro.core.program import Program
@@ -51,20 +52,31 @@ class CumulonExecutor:
 
     def __init__(self, tile_size: int = DEFAULT_TILE_SIZE,
                  max_workers: int = 4,
-                 params: CompilerParams | None = None,
+                 compiler_params: CompilerParams | None = None,
                  backing: TileBacking | None = None,
                  recorder: TraceRecorder = NULL_RECORDER,
                  metrics: MetricsRegistry = NULL_METRICS,
                  retry_policy: RetryPolicy | None = None,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 params: CompilerParams | None = None):
+        compiler_params = resolve_renamed_kwarg(
+            "CumulonExecutor", "params", "compiler_params",
+            params, compiler_params)
         self.tile_size = tile_size
         self.max_workers = max_workers
-        self.params = params if params is not None else CompilerParams()
+        self.compiler_params = (compiler_params if compiler_params is not None
+                                else CompilerParams())
         self.backing = backing if backing is not None else DenseBacking()
         self.recorder = recorder
         self.metrics = metrics
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+
+    @property
+    def params(self) -> CompilerParams:
+        """Deprecated alias for :attr:`compiler_params`."""
+        warn_renamed("CumulonExecutor", "params", "compiler_params")
+        return self.compiler_params
 
     def run(self, program: Program,
             inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
@@ -75,7 +87,7 @@ class CumulonExecutor:
             self._load_inputs(program, inputs)
         context = PhysicalContext(self.tile_size, self.backing, attach_run=True)
         with recorder.span(f"compile:{program.name}", "executor"):
-            compiled = compile_program(program, context, self.params,
+            compiled = compile_program(program, context, self.compiler_params,
                                        recorder=recorder,
                                        metrics=self.metrics)
         executor = LocalExecutor(max_workers=self.max_workers,
@@ -131,9 +143,13 @@ class CumulonExecutor:
 def run_program(program: Program, inputs: dict[str, np.ndarray] | None = None,
                 tile_size: int = DEFAULT_TILE_SIZE,
                 max_workers: int = 4,
-                params: CompilerParams | None = None,
-                recorder: TraceRecorder = NULL_RECORDER) -> ExecutionResult:
+                compiler_params: CompilerParams | None = None,
+                recorder: TraceRecorder = NULL_RECORDER,
+                params: CompilerParams | None = None) -> ExecutionResult:
     """One-shot convenience: execute ``program`` and return its results."""
+    compiler_params = resolve_renamed_kwarg(
+        "run_program", "params", "compiler_params", params, compiler_params)
     executor = CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
-                               params=params, recorder=recorder)
+                               compiler_params=compiler_params,
+                               recorder=recorder)
     return executor.run(program, inputs)

@@ -37,6 +37,7 @@ from repro.core.benchmarking import HardwareCoefficients
 from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
 from repro.core.costmodel import CostModelConfig, CumulonCostModel
 from repro.core.evalcache import EvalCache
+from repro.core.compat import resolve_renamed_kwarg
 from repro.core.physical import ElementwiseParams, MatMulParams, PhysicalContext
 from repro.core.plans import (
     DeploymentPlan,
@@ -368,24 +369,33 @@ class DeploymentOptimizer:
         seconds = estimate.seconds + self.startup_seconds
         return seconds, self.billing.cost(spec, seconds)
 
-    def evaluate(self, spec: ClusterSpec, params: CompilerParams,
+    def evaluate(self, spec: ClusterSpec,
+                 compiler_params: CompilerParams | None = None,
                  tile_size: int | None = None,
-                 priced: tuple[float, float] | None = None) -> DeploymentPlan:
+                 priced: tuple[float, float] | None = None,
+                 params: CompilerParams | None = None) -> DeploymentPlan:
         """Price one (cluster, physical-plan, tile-size) combination.
 
         ``priced`` short-circuits the simulation with a pre-computed
         ``(seconds, cost)`` pair — how parallel workers' results are folded
         back in without re-simulating — while trace/metrics recording
-        still happens here, on the calling (main) thread.
+        still happens here, on the calling (main) thread.  ``params`` is
+        the deprecated spelling of ``compiler_params``.
         """
+        compiler_params = resolve_renamed_kwarg(
+            "DeploymentOptimizer.evaluate", "params", "compiler_params",
+            params, compiler_params)
+        if compiler_params is None:
+            raise ValidationError(
+                "DeploymentOptimizer.evaluate needs compiler_params")
         tile_size = tile_size if tile_size is not None else self.tile_size
-        compiled = self.compile_with(params, tile_size)
+        compiled = self.compile_with(compiler_params, tile_size)
         if priced is None:
             with self.recorder.span(f"simulate:{spec.describe()}",
                                     "optimizer"):
                 priced = self._price(compiled, spec)
         seconds, cost = priced
-        plan = DeploymentPlan(spec, params, seconds, cost,
+        plan = DeploymentPlan(spec, compiler_params, seconds, cost,
                               tile_size=tile_size)
         if self.metrics.enabled:
             self.metrics.inc("optimizer.candidates_evaluated")
@@ -400,6 +410,28 @@ class DeploymentOptimizer:
                                            elementwise=space.elementwise))
                 for tile_size in space.tile_sizes_for(self.tile_size)
                 for matmul in space.matmul_options]
+
+    def price_spec_combos(self, spec: ClusterSpec,
+                          space: SearchSpace) -> list[tuple[float, float]]:
+        """Price every physical-parameter combo for one fixed spec.
+
+        Returns ``(seconds, cost)`` pairs in :meth:`_combos` order — the
+        shape :meth:`best_params_for` accepts as ``priced=``.  With
+        ``workers > 1`` the pure pricing fans out across the thread pool
+        (compilation happens up front on the calling thread, like
+        :meth:`_price_specs`); results are folded in submission order, so
+        the output is bit-identical to the sequential path.  This is the
+        entry point the multi-tenant job service uses to price one
+        admission on its shared cluster.
+        """
+        combos = self._combos(space)
+        compiled = [self.compile_with(params, tile_size)
+                    for tile_size, params in combos]
+        if self.workers <= 1 or len(compiled) <= 1:
+            return [self._price(program, spec) for program in compiled]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(
+                lambda program: self._price(program, spec), compiled))
 
     def best_params_for(self, spec: ClusterSpec, space: SearchSpace,
                         priced: list[tuple[float, float]] | None = None

@@ -65,5 +65,17 @@ class OptimizationError(ReproError):
     """The deployment optimizer could not produce a feasible plan."""
 
 
+class ServiceError(ReproError):
+    """The multi-tenant job service refused or lost a job."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """Admission control turned a submission away (budget or deadline)."""
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled before it produced a result."""
+
+
 class InfeasibleConstraintError(OptimizationError):
     """No deployment plan satisfies the given time/budget constraint."""

@@ -1,0 +1,94 @@
+"""repro.service: a multi-tenant job service over one shared cluster.
+
+Cumulon's pitch is end-to-end — users *deploy* whole analysis programs
+under time/budget constraints — but a single :class:`~repro.core.session.
+CumulonSession` runs one program at a time against a private cluster.
+This package adds the missing serving layer:
+
+* :class:`~repro.service.jobs.JobService` — submit/status/result/cancel
+  for many concurrent :class:`~repro.core.program.Program` submissions,
+  replayed on a deterministic virtual-clock event loop;
+* per-tenant **admission control** (:mod:`repro.service.admission`) —
+  every job is priced at admission with the shared
+  :class:`~repro.core.optimizer.DeploymentOptimizer` eval-cache, and jobs
+  that would blow their tenant's budget are rejected up front;
+* **fair-share slot scheduling** (:mod:`repro.service.scheduler`) —
+  preemption-free weighted fair queuing across tenants on the shared
+  cluster, with per-tenant metrics and dollar attribution via
+  :class:`~repro.observability.cost.CostMeter`;
+* **submission scripts** (:mod:`repro.service.script`) — JSON documents
+  the ``repro serve`` / ``repro submit`` CLI pair round-trips, so a whole
+  multi-tenant workload replays bit-identically from one file.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    REJECT_BUDGET,
+    REJECT_DEADLINE,
+)
+from repro.service.jobs import (
+    JOB_STATES,
+    JobHandle,
+    JobRecord,
+    JobResult,
+    JobService,
+    ServiceReport,
+    Tenant,
+    TenantReport,
+    STATE_CANCELLED,
+    STATE_COMPLETED,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_REJECTED,
+    STATE_RUNNING,
+)
+from repro.service.scheduler import (
+    POLICIES,
+    POLICY_FAIR,
+    POLICY_FIFO,
+    SlotRequest,
+    allocate_slots,
+    jain_fairness,
+    weighted_shares,
+)
+from repro.service.script import (
+    build_service,
+    load_script,
+    run_script,
+    save_script,
+    validate_script,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "JOB_STATES",
+    "JobHandle",
+    "JobRecord",
+    "JobResult",
+    "JobService",
+    "POLICIES",
+    "POLICY_FAIR",
+    "POLICY_FIFO",
+    "REJECT_BUDGET",
+    "REJECT_DEADLINE",
+    "STATE_CANCELLED",
+    "STATE_COMPLETED",
+    "STATE_FAILED",
+    "STATE_PENDING",
+    "STATE_REJECTED",
+    "STATE_RUNNING",
+    "ServiceReport",
+    "SlotRequest",
+    "Tenant",
+    "TenantReport",
+    "allocate_slots",
+    "build_service",
+    "jain_fairness",
+    "load_script",
+    "run_script",
+    "save_script",
+    "validate_script",
+    "weighted_shares",
+]

@@ -1,0 +1,166 @@
+"""Admission control: price a job before it touches the shared cluster.
+
+Every submission is priced with the real optimizer pipeline — compile,
+then simulate on the service's cluster spec — so admission decisions rest
+on the same estimates deployment decisions do.  One shared
+:class:`~repro.core.evalcache.EvalCache` spans all tenants: when ten
+tenants submit the same parameterized workload, nine admissions are pure
+cache hits.
+
+The tenancy price is the *slot-second rate*: the cluster's hourly rental
+divided across its slots.  A job's estimated dollars are the slot-seconds
+it will consume at that rate, which is what per-tenant budgets meter
+against (cluster-level billing still follows the coarse hourly
+:class:`~repro.cloud.pricing.BillingModel`; the service report reconciles
+the two — see :meth:`repro.service.jobs.ServiceReport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instances import ClusterSpec
+from repro.core.benchmarking import HardwareCoefficients
+from repro.core.compiler import CompilerParams
+from repro.core.evalcache import EvalCache
+from repro.core.optimizer import DeploymentOptimizer, SearchSpace
+from repro.core.plans import DeploymentPlan
+from repro.core.program import Program
+from repro.errors import ValidationError
+
+#: Rejection reasons.
+REJECT_BUDGET = "budget"
+REJECT_DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of pricing one submission against one tenant's limits."""
+
+    admitted: bool
+    #: Failure-free dedicated-run estimate on the service cluster.
+    plan: DeploymentPlan
+    #: Total work the fluid scheduler will drain, in slot-seconds.
+    work_slot_seconds: float
+    #: Parallelism ceiling: the job cannot absorb more slots than this.
+    max_slots: int
+    #: Slot-seconds priced at the tenancy rate, in dollars.
+    estimated_dollars: float
+    #: Why the job was turned away (None when admitted).
+    reject_reason: str | None = None
+
+
+class AdmissionController:
+    """Prices submissions on a fixed cluster spec with a shared memo.
+
+    ``tune_physical`` selects between tuning the physical plan per
+    admission (every matmul split in ``space`` is priced, exactly like the
+    optimizer's per-spec tuning) and pricing the default
+    :class:`~repro.core.compiler.CompilerParams` only — the cheap mode a
+    session front-door uses.  ``workers`` sizes the optimizer's pricing
+    pool; parallel pricing is deterministic (results fold in submission
+    order), so admission decisions are identical for any worker count.
+    """
+
+    def __init__(self, spec: ClusterSpec, tile_size: int = 256,
+                 coefficients: HardwareCoefficients | None = None,
+                 cache: EvalCache | None = None,
+                 workers: int = 0,
+                 tune_physical: bool = True):
+        if tile_size <= 0:
+            raise ValidationError(f"tile_size must be positive: {tile_size}")
+        self.spec = spec
+        self.tile_size = tile_size
+        self.coefficients = coefficients
+        self.cache = cache if cache is not None else EvalCache()
+        self.workers = workers
+        self.tune_physical = tune_physical
+        #: The degenerate search space admission pricing enumerates: the
+        #: service's one spec, tuned over physical parameters only.
+        self.space = SearchSpace(
+            instance_types=(spec.instance_type,),
+            node_counts=(spec.num_nodes,),
+            slots_options=(spec.slots_per_node,),
+        )
+        #: Per-program optimizers (keyed by id) so repeated pricings of one
+        #: Program object reuse its compile cache; the eval cache is shared
+        #: across all of them regardless.
+        self._optimizers: dict[int, DeploymentOptimizer] = {}
+
+    def optimizer_for(self, program: Program,
+                      tile_size: int | None = None) -> DeploymentOptimizer:
+        """The (memoized) optimizer pricing ``program`` for this service."""
+        key = id(program)
+        optimizer = self._optimizers.get(key)
+        if optimizer is None or optimizer.tile_size != (tile_size or
+                                                        self.tile_size):
+            optimizer = DeploymentOptimizer(
+                program,
+                tile_size=tile_size if tile_size is not None
+                else self.tile_size,
+                coefficients=self.coefficients,
+                startup_seconds=0.0,  # the shared cluster is already up
+                cache=self.cache,
+                workers=self.workers,
+            )
+            self._optimizers[key] = optimizer
+        return optimizer
+
+    def price(self, program: Program,
+              tile_size: int | None = None) -> tuple[DeploymentPlan, int]:
+        """Price ``program`` on the service cluster: (plan, parallelism cap).
+
+        The cap is the widest single phase in the compiled DAG — the most
+        slots the job can keep busy at once — clamped to the cluster.
+        """
+        optimizer = self.optimizer_for(program, tile_size)
+        if self.tune_physical:
+            priced = optimizer.price_spec_combos(self.spec, self.space)
+            plan = optimizer.best_params_for(self.spec, self.space,
+                                             priced=priced)
+        else:
+            plan = optimizer.evaluate(self.spec, CompilerParams())
+        compiled = optimizer.compile_with(plan.compiler_params,
+                                          plan.tile_size or None)
+        cap = 1
+        for job in compiled.dag:
+            cap = max(cap, len(job.map_tasks), len(job.reduce_tasks))
+        return plan, min(cap, self.spec.total_slots)
+
+    @property
+    def slot_second_rate(self) -> float:
+        """The tenancy price: dollars per slot-second on this cluster."""
+        return self.spec.hourly_rate / 3600.0 / self.spec.total_slots
+
+    def decide(self, program: Program,
+               budget_remaining_dollars: float | None = None,
+               deadline_seconds: float | None = None,
+               tile_size: int | None = None) -> AdmissionDecision:
+        """Admit or reject one submission against a tenant's limits.
+
+        ``budget_remaining_dollars`` is what the tenant has left after
+        earlier commitments; ``deadline_seconds`` is the tenant's per-job
+        completion bound *relative to submission*.  A job whose dedicated-
+        run estimate already exceeds the deadline can never meet it on a
+        shared cluster, so it is rejected outright; queueing delay beyond
+        that is deliberately not second-guessed at admission (documented
+        optimism — the completion metrics record any miss).
+        """
+        plan, cap = self.price(program, tile_size)
+        work = plan.estimated_seconds * cap
+        dollars = work * self.slot_second_rate
+        reason = None
+        if deadline_seconds is not None \
+                and plan.estimated_seconds > deadline_seconds:
+            reason = REJECT_DEADLINE
+        elif budget_remaining_dollars is not None \
+                and dollars > budget_remaining_dollars:
+            reason = REJECT_BUDGET
+        return AdmissionDecision(
+            admitted=reason is None,
+            plan=plan,
+            work_slot_seconds=work,
+            max_slots=cap,
+            estimated_dollars=dollars,
+            reject_reason=reason,
+        )

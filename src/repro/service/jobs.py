@@ -1,0 +1,735 @@
+"""The multi-tenant job service: submit / status / result / cancel.
+
+A :class:`JobService` admits many concurrent
+:class:`~repro.core.program.Program` submissions onto **one shared
+simulated cluster** and replays them on a deterministic virtual-clock
+event loop, so any run — schedules, bills, metrics — is reproducible
+bit-for-bit from the submission script alone.
+
+Execution model (the *fluid* approximation)
+-------------------------------------------
+Each admitted job is priced at admission (see
+:mod:`repro.service.admission`) into a bucket of **slot-seconds**: its
+dedicated-run estimate times its parallelism cap.  Between events the
+scheduler (:mod:`repro.service.scheduler`) divides the cluster's slots
+among active jobs — FIFO or preemption-free weighted fair queuing — and
+each job drains its bucket at its allocated slot rate.  A job's dedicated
+runtime therefore matches the optimizer's estimate exactly, while
+contention, queueing, and fairness emerge from how allocations shift as
+jobs arrive and finish.  Allocations are fractional and never destroy
+work (no preemption); only the *rate* changes.
+
+Events — submissions, cancellations, completions — are processed in
+virtual-time order with deterministic tie-breaking, and a cluster-wide
+:class:`~repro.observability.cost.CostMeter` observes every instant, so
+dollars accrue at billing granularity exactly as in the single-program
+simulator.  Per-tenant cost attribution divides the metered total in
+proportion to consumed slot-seconds (idle and hour-rounding overheads are
+spread the same way), so tenant bills always sum to the meter's total.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.instances import ClusterSpec
+from repro.cloud.pricing import DEFAULT_BILLING, BillingModel
+from repro.core.benchmarking import HardwareCoefficients
+from repro.core.evalcache import EvalCache
+from repro.core.executor import CumulonExecutor, ExecutionResult
+from repro.core.plans import DeploymentPlan
+from repro.core.program import Program
+from repro.errors import (
+    AdmissionRejectedError,
+    JobCancelledError,
+    ServiceError,
+    ValidationError,
+)
+from repro.observability.cost import CostMeter
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.trace import (
+    NULL_RECORDER,
+    PHASE_JOB,
+    STATUS_FAILED,
+    STATUS_KILLED,
+    STATUS_SUCCESS,
+    TraceEvent,
+    TraceRecorder,
+)
+from repro.service.admission import AdmissionController
+from repro.service.scheduler import (
+    EPSILON,
+    POLICIES,
+    POLICY_FAIR,
+    SlotRequest,
+    allocate_slots,
+    jain_fairness,
+)
+
+#: Job lifecycle states.
+STATE_PENDING = "pending"      # submitted, not yet reached by the clock
+STATE_RUNNING = "running"      # admitted; queued or draining slot-seconds
+STATE_COMPLETED = "completed"
+STATE_REJECTED = "rejected"    # admission control turned it away
+STATE_CANCELLED = "cancelled"
+STATE_FAILED = "failed"        # real execution raised
+JOB_STATES = (STATE_PENDING, STATE_RUNNING, STATE_COMPLETED,
+              STATE_REJECTED, STATE_CANCELLED, STATE_FAILED)
+
+#: Remaining slot-seconds below this count as done (float drift guard).
+_WORK_EPSILON = 1e-6
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    index = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[index]
+
+
+@dataclass
+class Tenant:
+    """One paying customer of the service: identity, limits, fair weight."""
+
+    name: str
+    #: Total estimated dollars the tenant may commit (None = unlimited).
+    budget_dollars: float | None = None
+    #: Per-job completion bound relative to submission (None = none).
+    deadline_seconds: float | None = None
+    #: Fair-share weight (2.0 gets twice the slots of 1.0 under load).
+    weight: float = 1.0
+    #: Estimated dollars committed by admitted jobs so far.
+    committed_dollars: float = 0.0
+    #: Slot-seconds actually consumed by this tenant's jobs.
+    slot_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("tenant name must be non-empty")
+        if self.budget_dollars is not None and self.budget_dollars <= 0:
+            raise ValidationError("budget_dollars must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValidationError("deadline_seconds must be positive")
+        if self.weight <= 0:
+            raise ValidationError("weight must be positive")
+
+    @property
+    def budget_remaining(self) -> float | None:
+        """Estimated dollars left to commit (None = unlimited)."""
+        if self.budget_dollars is None:
+            return None
+        return self.budget_dollars - self.committed_dollars
+
+
+@dataclass
+class JobRecord:
+    """Everything the service tracks about one submission."""
+
+    job_id: str
+    tenant: str
+    program: Program
+    submit_at: float
+    order: int
+    state: str = STATE_PENDING
+    inputs: dict[str, np.ndarray] | None = None
+    tile_size: int | None = None
+    #: Filled at admission.
+    plan: DeploymentPlan | None = None
+    work_slot_seconds: float = 0.0
+    remaining_slot_seconds: float = 0.0
+    max_slots: int = 1
+    estimated_dollars: float = 0.0
+    reject_reason: str | None = None
+    #: Filled while running / at completion.
+    allocated_slots: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    slot_seconds: float = 0.0
+    dollars: float = 0.0
+    missed_deadline: bool = False
+    execution: ExecutionResult | None = None
+    error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in (STATE_COMPLETED, STATE_REJECTED,
+                              STATE_CANCELLED, STATE_FAILED)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Immutable digest of a finished job, as returned by handles."""
+
+    job_id: str
+    tenant: str
+    state: str
+    program_name: str
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    plan: DeploymentPlan | None
+    work_slot_seconds: float
+    max_slots: int
+    slot_seconds: float
+    estimated_dollars: float
+    dollars: float
+    missed_deadline: bool
+    reject_reason: str | None
+    execution: ExecutionResult | None
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submission-to-completion time on the virtual clock."""
+        if self.finished_at is None:
+            return float("inf")
+        return self.finished_at - self.submitted_at
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time between submission and the first allocated slot."""
+        if self.started_at is None:
+            return float("inf")
+        return self.started_at - self.submitted_at
+
+
+class JobHandle:
+    """A tenant's view of one submission: status, result, cancel."""
+
+    def __init__(self, service: "JobService", job_id: str):
+        self._service = service
+        self.job_id = job_id
+
+    @property
+    def status(self) -> str:
+        """The job's current lifecycle state (one of :data:`JOB_STATES`)."""
+        return self._service.status(self.job_id)
+
+    def result(self, wait: bool = True) -> JobResult:
+        """The finished job's digest.
+
+        With ``wait`` (the default) the service clock is drained first, so
+        this behaves like an ``await``.  Raises
+        :class:`~repro.errors.AdmissionRejectedError` /
+        :class:`~repro.errors.JobCancelledError` for jobs that never ran,
+        re-raises the original executor error for failed jobs, and raises
+        :class:`~repro.errors.ServiceError` if the job is still in flight.
+        """
+        if wait:
+            self._service.drain()
+        return self._service.result(self.job_id)
+
+    def cancel(self) -> None:
+        """Withdraw the job at the service's current virtual time."""
+        self._service.cancel(self.job_id)
+
+
+class JobService:
+    """Admits, schedules, and bills many tenants' jobs on one cluster.
+
+    The public surface is ``add_tenant`` / ``submit`` / ``status`` /
+    ``result`` / ``cancel`` plus the clock controls ``run_until`` and
+    ``drain``.  Everything is driven by the deterministic virtual clock:
+    ``submit`` only *enqueues* (optionally in the future via
+    ``submit_at``); admission, scheduling, and completion happen when the
+    clock is advanced across those instants.
+
+    ``executor`` optionally attaches a real
+    :class:`~repro.core.executor.CumulonExecutor`: jobs then actually run
+    (producing numpy outputs in the handle's result) at the moment their
+    virtual completion fires — this is how
+    :class:`~repro.core.session.CumulonSession` rides on the service.
+    """
+
+    def __init__(self, spec: ClusterSpec,
+                 policy: str = POLICY_FAIR,
+                 tile_size: int = 256,
+                 coefficients: HardwareCoefficients | None = None,
+                 billing: BillingModel | None = None,
+                 cache: EvalCache | None = None,
+                 workers: int = 0,
+                 tune_physical: bool = True,
+                 executor: CumulonExecutor | None = None,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 recorder: TraceRecorder = NULL_RECORDER):
+        if policy not in POLICIES:
+            raise ValidationError(
+                f"policy must be one of {POLICIES}, got {policy!r}")
+        self.spec = spec
+        self.policy = policy
+        self.billing = billing if billing is not None else DEFAULT_BILLING
+        self.admission = AdmissionController(
+            spec, tile_size=tile_size, coefficients=coefficients,
+            cache=cache, workers=workers, tune_physical=tune_physical)
+        self.executor = executor
+        self.metrics = metrics
+        self.recorder = recorder
+        self.cost_meter = CostMeter(spec, billing=self.billing,
+                                    registry=metrics)
+        self.tenants: dict[str, Tenant] = {}
+        self.jobs: dict[str, JobRecord] = {}
+        self._clock = 0.0
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._order = itertools.count()
+        self._generation = 0
+        self._running: list[JobRecord] = []
+
+    # -- tenancy ---------------------------------------------------------------
+
+    def add_tenant(self, name: str, budget_dollars: float | None = None,
+                   deadline_seconds: float | None = None,
+                   weight: float = 1.0) -> Tenant:
+        """Register a tenant; returns its mutable accounting record."""
+        if name in self.tenants:
+            raise ValidationError(f"tenant {name!r} already registered")
+        tenant = Tenant(name, budget_dollars=budget_dollars,
+                        deadline_seconds=deadline_seconds, weight=weight)
+        self.tenants[name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        """Look up a registered tenant."""
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise ValidationError(f"unknown tenant {name!r}; register with "
+                                  f"add_tenant first") from None
+
+    # -- the public job API ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The service's current virtual time, in seconds."""
+        return self._clock
+
+    def submit(self, program: Program, tenant: str,
+               submit_at: float | None = None,
+               inputs: dict[str, np.ndarray] | None = None,
+               tile_size: int | None = None) -> JobHandle:
+        """Enqueue one program for ``tenant``; returns its handle.
+
+        ``submit_at`` schedules the arrival on the virtual clock (default:
+        now).  Admission — pricing, budget/deadline checks — happens when
+        the clock reaches that instant, interleaved deterministically with
+        other tenants' arrivals and completions.
+        """
+        owner = self.tenant(tenant)
+        at = self._clock if submit_at is None else float(submit_at)
+        if at < self._clock:
+            raise ValidationError(
+                f"submit_at {at} is in the past (clock is {self._clock})")
+        job_id = f"{owner.name}-j{next(self._order):04d}"
+        record = JobRecord(job_id=job_id, tenant=owner.name, program=program,
+                           submit_at=at, order=int(job_id.split("j")[-1]),
+                           inputs=inputs, tile_size=tile_size)
+        self.jobs[job_id] = record
+        self._push(at, "submit", record)
+        if self.metrics.enabled:
+            self.metrics.inc("service.jobs_submitted",
+                             labels={"tenant": owner.name})
+        return JobHandle(self, job_id)
+
+    def status(self, job_id: str) -> str:
+        """The job's current state (one of :data:`JOB_STATES`)."""
+        return self._record(job_id).state
+
+    def result(self, job_id: str) -> JobResult:
+        """Digest of a finished job; raises if it cannot produce one."""
+        record = self._record(job_id)
+        if record.state == STATE_REJECTED:
+            raise AdmissionRejectedError(
+                f"job {job_id} was rejected at admission "
+                f"({record.reject_reason})")
+        if record.state == STATE_CANCELLED:
+            raise JobCancelledError(f"job {job_id} was cancelled")
+        if record.state == STATE_FAILED:
+            raise record.error
+        if not record.done:
+            raise ServiceError(
+                f"job {job_id} is still {record.state}; drain() or "
+                f"run_until() the service first")
+        return self._digest(record)
+
+    def cancel(self, job_id: str) -> None:
+        """Withdraw a pending or running job at the current virtual time."""
+        record = self._record(job_id)
+        if record.done:
+            return
+        self._push(self._clock, "cancel", record)
+
+    # -- the virtual-clock event loop ------------------------------------------
+
+    def run_until(self, limit_seconds: float) -> None:
+        """Process every event up to (and at) ``limit_seconds``."""
+        if limit_seconds < self._clock:
+            raise ValidationError(
+                f"cannot run the clock backwards to {limit_seconds} "
+                f"(clock is {self._clock})")
+        while self._events and self._events[0][0] <= limit_seconds:
+            at, __, kind, payload = heapq.heappop(self._events)
+            if kind == "complete" and payload != self._generation:
+                continue  # superseded by a newer allocation
+            self._advance_to(at)
+            if kind == "submit":
+                self._handle_submit(payload)
+            elif kind == "cancel":
+                self._handle_cancel(payload)
+            elif kind == "complete":
+                self._handle_complete()
+            self._reschedule()
+        self._advance_to(limit_seconds)
+
+    def drain(self) -> None:
+        """Run the clock forward until every enqueued event has fired."""
+        while self._events:
+            self.run_until(self._events[0][0])
+
+    # -- internals -------------------------------------------------------------
+
+    def _record(self, job_id: str) -> JobRecord:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ValidationError(f"unknown job {job_id!r}") from None
+
+    def _push(self, at: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (at, next(self._seq), kind, payload))
+
+    def _advance_to(self, at: float) -> None:
+        """Drain running jobs' work across ``[clock, at]``; move the clock."""
+        dt = at - self._clock
+        if dt > 0:
+            for record in self._running:
+                if record.allocated_slots <= EPSILON:
+                    continue
+                consumed = record.allocated_slots * dt
+                record.remaining_slot_seconds -= consumed
+                record.slot_seconds += consumed
+                self.tenants[record.tenant].slot_seconds += consumed
+            self._clock = at
+        self.cost_meter.observe(self._clock)
+        if self.metrics.enabled:
+            self.metrics.sample(
+                "service.running_slots",
+                sum(r.allocated_slots for r in self._running), t=self._clock)
+            self.metrics.sample(
+                "service.active_jobs", len(self._running), t=self._clock)
+
+    def _handle_submit(self, record: JobRecord) -> None:
+        if record.done:
+            return  # cancelled while still pending
+        tenant = self.tenants[record.tenant]
+        decision = self.admission.decide(
+            record.program,
+            budget_remaining_dollars=tenant.budget_remaining,
+            deadline_seconds=tenant.deadline_seconds,
+            tile_size=record.tile_size)
+        record.plan = decision.plan
+        record.work_slot_seconds = decision.work_slot_seconds
+        record.remaining_slot_seconds = decision.work_slot_seconds
+        record.max_slots = decision.max_slots
+        record.estimated_dollars = decision.estimated_dollars
+        if not decision.admitted:
+            record.state = STATE_REJECTED
+            record.reject_reason = decision.reject_reason
+            record.finished_at = self._clock
+            if self.metrics.enabled:
+                self.metrics.inc("service.jobs_rejected",
+                                 labels={"tenant": record.tenant,
+                                         "reason": decision.reject_reason})
+            self._emit_job_event(record, STATUS_FAILED,
+                                 label=f"rejected:{decision.reject_reason}")
+            return
+        tenant.committed_dollars += decision.estimated_dollars
+        record.state = STATE_RUNNING
+        self._running.append(record)
+        if self.metrics.enabled:
+            self.metrics.inc("service.jobs_admitted",
+                             labels={"tenant": record.tenant})
+
+    def _handle_cancel(self, record: JobRecord) -> None:
+        if record.done:
+            return
+        if record in self._running:
+            self._running.remove(record)
+        tenant = self.tenants[record.tenant]
+        # Release the unspent part of the admission commitment.
+        rate = self.admission.slot_second_rate
+        unspent = max(0.0, record.remaining_slot_seconds) * rate
+        tenant.committed_dollars = max(
+            0.0, tenant.committed_dollars - unspent)
+        record.state = STATE_CANCELLED
+        record.finished_at = self._clock
+        record.dollars = record.slot_seconds * rate
+        if self.metrics.enabled:
+            self.metrics.inc("service.jobs_cancelled",
+                             labels={"tenant": record.tenant})
+        self._emit_job_event(record, STATUS_KILLED, label="cancelled")
+
+    def _handle_complete(self) -> None:
+        finished = [record for record in self._running
+                    if record.remaining_slot_seconds <= _WORK_EPSILON]
+        for record in finished:
+            self._running.remove(record)
+            self._finish(record)
+
+    def _finish(self, record: JobRecord) -> None:
+        record.finished_at = self._clock
+        record.remaining_slot_seconds = 0.0
+        record.dollars = record.slot_seconds * self.admission.slot_second_rate
+        tenant = self.tenants[record.tenant]
+        latency = record.finished_at - record.submit_at
+        if tenant.deadline_seconds is not None \
+                and latency > tenant.deadline_seconds:
+            record.missed_deadline = True
+        status = STATUS_SUCCESS
+        if self.executor is not None:
+            try:
+                record.execution = self.executor.run(record.program,
+                                                     record.inputs)
+            except Exception as error:  # surfaced via result()
+                record.state = STATE_FAILED
+                record.error = error
+                status = STATUS_FAILED
+        if record.state != STATE_FAILED:
+            record.state = STATE_COMPLETED
+        if self.metrics.enabled:
+            labels = {"tenant": record.tenant}
+            name = ("service.jobs_completed"
+                    if record.state == STATE_COMPLETED
+                    else "service.jobs_failed")
+            self.metrics.inc(name, labels=labels)
+            self.metrics.observe("service.job_latency_seconds", latency,
+                                 labels=labels)
+            if record.missed_deadline:
+                self.metrics.inc("service.deadline_misses", labels=labels)
+        self._emit_job_event(record, status)
+
+    def _emit_job_event(self, record: JobRecord, status: str,
+                        label: str = "") -> None:
+        if not self.recorder.enabled:
+            return
+        start = (record.started_at if record.started_at is not None
+                 else record.submit_at)
+        self.recorder.record(TraceEvent(
+            job_id=record.job_id,
+            task_id=record.program.name,
+            phase=PHASE_JOB,
+            slot=f"tenant:{record.tenant}",
+            start=start,
+            end=self._clock,
+            status=status,
+            label=label or f"tenant={record.tenant}",
+        ))
+
+    def _reschedule(self) -> None:
+        """Re-divide the cluster's slots and schedule the next completion."""
+        requests = [SlotRequest(record.job_id, record.tenant,
+                                float(record.max_slots), record.order)
+                    for record in self._running]
+        weights = {name: tenant.weight
+                   for name, tenant in self.tenants.items()}
+        allocation = allocate_slots(self.policy, requests, weights,
+                                    float(self.spec.total_slots))
+        self._generation += 1
+        next_finish: float | None = None
+        for record in self._running:
+            record.allocated_slots = allocation[record.job_id]
+            if record.allocated_slots > EPSILON:
+                if record.started_at is None:
+                    record.started_at = self._clock
+                finish = (self._clock + record.remaining_slot_seconds
+                          / record.allocated_slots)
+                if next_finish is None or finish < next_finish:
+                    next_finish = finish
+        if next_finish is not None:
+            self._push(max(next_finish, self._clock), "complete",
+                       self._generation)
+        if self.metrics.enabled:
+            self.metrics.sample(
+                "service.queue_depth",
+                sum(1 for record in self._running
+                    if record.allocated_slots <= EPSILON),
+                t=self._clock)
+
+    def _digest(self, record: JobRecord) -> JobResult:
+        return JobResult(
+            job_id=record.job_id,
+            tenant=record.tenant,
+            state=record.state,
+            program_name=record.program.name,
+            submitted_at=record.submit_at,
+            started_at=record.started_at,
+            finished_at=record.finished_at,
+            plan=record.plan,
+            work_slot_seconds=record.work_slot_seconds,
+            max_slots=record.max_slots,
+            slot_seconds=record.slot_seconds,
+            estimated_dollars=record.estimated_dollars,
+            dollars=record.dollars,
+            missed_deadline=record.missed_deadline,
+            reject_reason=record.reject_reason,
+            execution=record.execution,
+        )
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> "ServiceReport":
+        """Snapshot the service's per-tenant and cluster-wide accounting.
+
+        Meaningful any time, but most useful after :meth:`drain`.  The
+        metered total comes from the cluster-wide cost meter; per-tenant
+        dollars divide it in proportion to consumed slot-seconds, so they
+        sum to the total exactly (idle capacity and billing rounding are
+        spread pro rata).
+        """
+        total_dollars = self.cost_meter.accrued_dollars
+        used = {name: tenant.slot_seconds
+                for name, tenant in self.tenants.items()}
+        total_used = sum(used.values())
+        tenants = []
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            records = [record for record in self.jobs.values()
+                       if record.tenant == name]
+            latencies = [record.finished_at - record.submit_at
+                         for record in records
+                         if record.state == STATE_COMPLETED]
+            share = (used[name] / total_used) if total_used > 0 else 0.0
+            tenants.append(TenantReport(
+                name=name,
+                weight=tenant.weight,
+                submitted=len(records),
+                completed=sum(1 for r in records
+                              if r.state == STATE_COMPLETED),
+                rejected=sum(1 for r in records
+                             if r.state == STATE_REJECTED),
+                cancelled=sum(1 for r in records
+                              if r.state == STATE_CANCELLED),
+                failed=sum(1 for r in records if r.state == STATE_FAILED),
+                deadline_misses=sum(1 for r in records if r.missed_deadline),
+                slot_seconds=tenant.slot_seconds,
+                committed_dollars=tenant.committed_dollars,
+                dollars=share * total_dollars,
+                mean_latency_seconds=(sum(latencies) / len(latencies)
+                                      if latencies else 0.0),
+                p50_latency_seconds=(_percentile(latencies, 0.50)
+                                     if latencies else 0.0),
+                p95_latency_seconds=(_percentile(latencies, 0.95)
+                                     if latencies else 0.0),
+            ))
+        completed = sum(t.completed for t in tenants)
+        fairness = jain_fairness([
+            tenant.slot_seconds / tenant.weight
+            for tenant in self.tenants.values() if tenant.slot_seconds > 0
+        ])
+        makespan = self._clock
+        throughput = (completed / (makespan / 3600.0)
+                      if makespan > 0 else 0.0)
+        return ServiceReport(
+            policy=self.policy,
+            cluster=self.spec.describe(),
+            makespan_seconds=makespan,
+            total_dollars=total_dollars,
+            throughput_jobs_per_hour=throughput,
+            fairness_index=fairness,
+            tenants=tenants,
+        )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's share of a service run."""
+
+    name: str
+    weight: float
+    submitted: int
+    completed: int
+    rejected: int
+    cancelled: int
+    failed: int
+    deadline_misses: int
+    slot_seconds: float
+    committed_dollars: float
+    #: Share of the metered cluster total (sums to it across tenants).
+    dollars: float
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p95_latency_seconds: float
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Cluster-wide digest of a service run, JSON-able via :meth:`summary`."""
+
+    policy: str
+    cluster: str
+    makespan_seconds: float
+    total_dollars: float
+    throughput_jobs_per_hour: float
+    fairness_index: float
+    tenants: list[TenantReport] = field(default_factory=list)
+
+    def tenant(self, name: str) -> TenantReport:
+        """Look up one tenant's slice of the report."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise ValidationError(f"no tenant {name!r} in this report")
+
+    def summary(self) -> dict:
+        """JSON-able dump of the whole report."""
+        return {
+            "policy": self.policy,
+            "cluster": self.cluster,
+            "makespan_seconds": self.makespan_seconds,
+            "total_dollars": self.total_dollars,
+            "throughput_jobs_per_hour": self.throughput_jobs_per_hour,
+            "fairness_index": self.fairness_index,
+            "tenants": [
+                {
+                    "name": tenant.name,
+                    "weight": tenant.weight,
+                    "submitted": tenant.submitted,
+                    "completed": tenant.completed,
+                    "rejected": tenant.rejected,
+                    "cancelled": tenant.cancelled,
+                    "failed": tenant.failed,
+                    "deadline_misses": tenant.deadline_misses,
+                    "slot_seconds": tenant.slot_seconds,
+                    "committed_dollars": tenant.committed_dollars,
+                    "dollars": tenant.dollars,
+                    "mean_latency_seconds": tenant.mean_latency_seconds,
+                    "p50_latency_seconds": tenant.p50_latency_seconds,
+                    "p95_latency_seconds": tenant.p95_latency_seconds,
+                }
+                for tenant in self.tenants
+            ],
+        }
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"job service [{self.policy}] on {self.cluster}:",
+            f"  makespan {self.makespan_seconds:.0f}s, "
+            f"${self.total_dollars:.2f} metered, "
+            f"{self.throughput_jobs_per_hour:.1f} jobs/h, "
+            f"fairness {self.fairness_index:.3f}",
+        ]
+        for tenant in self.tenants:
+            lines.append(
+                f"  {tenant.name} (w={tenant.weight:g}): "
+                f"{tenant.completed}/{tenant.submitted} done, "
+                f"{tenant.rejected} rejected, "
+                f"p50 {tenant.p50_latency_seconds:.0f}s / "
+                f"p95 {tenant.p95_latency_seconds:.0f}s, "
+                f"${tenant.dollars:.2f}"
+                + (f", {tenant.deadline_misses} deadline miss(es)"
+                   if tenant.deadline_misses else ""))
+        return "\n".join(lines)

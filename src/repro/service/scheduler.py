@@ -1,0 +1,153 @@
+"""Service-level slot scheduling: FIFO vs weighted fair sharing.
+
+The cluster simulator already arbitrates *tasks within one DAG* (its
+``FIFO``/``FAIR`` scan orders); this module extends those policies one
+level up, to whole jobs from many tenants sharing one cluster.  The
+service models each admitted job as a fluid bucket of *slot-seconds* (see
+:mod:`repro.service.jobs`), so scheduling reduces to dividing the
+cluster's slot capacity among the active jobs at every event instant:
+
+* :data:`POLICY_FIFO` — strict admission order.  Each job takes up to its
+  parallelism cap; later jobs only get what is left.  One heavy tenant's
+  burst monopolizes the cluster, which is exactly the pathology E23
+  measures.
+* :data:`POLICY_FAIR` — preemption-free weighted fair queuing.  Capacity
+  is divided across *tenants* in proportion to their weights (max-min /
+  progressive filling, so a tenant that cannot use its share donates the
+  surplus), then each tenant's share is divided max-min across its own
+  jobs.  No job is ever killed or loses work; only its slot allocation
+  changes between events.
+
+Allocations are fractional (fluid-flow approximation) and the algorithms
+are deterministic: ties break on admission order, and all arithmetic
+happens in sorted order so repeated runs produce bit-identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.hadoop.simulator import FAIR, FIFO
+
+#: Service scheduling policies (same spellings as the task-level simulator
+#: policies they extend).
+POLICY_FIFO = FIFO
+POLICY_FAIR = FAIR
+POLICIES = (POLICY_FIFO, POLICY_FAIR)
+
+#: Allocations below this many slots are treated as zero.
+EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class SlotRequest:
+    """One runnable job's demand on the shared cluster.
+
+    ``cap`` is the job's parallelism ceiling (it cannot absorb more slots
+    than its widest stage has tasks); ``order`` is the admission sequence
+    number, which is both the FIFO priority and the deterministic
+    tie-breaker everywhere else.
+    """
+
+    job_id: str
+    tenant: str
+    cap: float
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0:
+            raise ValidationError(
+                f"job {self.job_id!r} slot cap must be positive, "
+                f"got {self.cap}")
+
+
+def weighted_shares(demands: list[tuple[str, float, float]],
+                    capacity: float) -> dict[str, float]:
+    """Weighted max-min allocation (progressive filling).
+
+    ``demands`` is a list of ``(key, cap, weight)``.  Capacity is divided
+    in proportion to weights; a demand saturated at its cap drops out and
+    its surplus is re-divided among the rest, until either everyone is
+    saturated or the capacity is gone.  Runs in at most ``len(demands)``
+    rounds because each round either saturates a demand or distributes
+    everything that is left.
+    """
+    if capacity < 0:
+        raise ValidationError(f"capacity must be >= 0, got {capacity}")
+    shares = {key: 0.0 for key, __, __ in demands}
+    active = [(key, cap, weight) for key, cap, weight in demands
+              if cap > EPSILON and weight > 0]
+    remaining = capacity
+    while active and remaining > EPSILON:
+        total_weight = sum(weight for __, __, weight in active)
+        quantum = remaining / total_weight
+        saturated = []
+        for key, cap, weight in active:
+            grant = min(quantum * weight, cap - shares[key])
+            shares[key] += grant
+            remaining -= grant
+            if cap - shares[key] <= EPSILON:
+                saturated.append(key)
+        if not saturated:
+            break  # nobody hit a cap: the whole remainder was distributed
+        active = [(key, cap, weight) for key, cap, weight in active
+                  if key not in saturated]
+    return shares
+
+
+def allocate_slots(policy: str, requests: list[SlotRequest],
+                   tenant_weights: dict[str, float],
+                   total_slots: float) -> dict[str, float]:
+    """Divide ``total_slots`` among ``requests`` under ``policy``.
+
+    Returns ``job_id -> slots`` (fractional; zero entries included so the
+    caller can detect starved jobs).  ``tenant_weights`` supplies the fair
+    policy's per-tenant weights; tenants absent from the dict weigh 1.
+    """
+    if policy not in POLICIES:
+        raise ValidationError(
+            f"scheduling policy must be one of {POLICIES}, got {policy!r}")
+    ordered = sorted(requests, key=lambda request: request.order)
+    allocation = {request.job_id: 0.0 for request in ordered}
+    if not ordered or total_slots <= 0:
+        return allocation
+    if policy == POLICY_FIFO:
+        remaining = float(total_slots)
+        for request in ordered:
+            grant = min(request.cap, remaining)
+            allocation[request.job_id] = grant
+            remaining -= grant
+            if remaining <= EPSILON:
+                break
+        return allocation
+    # Fair share: tenants first (weighted), then each tenant's jobs.
+    by_tenant: dict[str, list[SlotRequest]] = {}
+    for request in ordered:
+        by_tenant.setdefault(request.tenant, []).append(request)
+    tenant_demands = [
+        (tenant, sum(request.cap for request in requests_),
+         tenant_weights.get(tenant, 1.0))
+        for tenant, requests_ in sorted(by_tenant.items())
+    ]
+    tenant_shares = weighted_shares(tenant_demands, float(total_slots))
+    for tenant, requests_ in sorted(by_tenant.items()):
+        job_demands = [(request.job_id, request.cap, 1.0)
+                       for request in requests_]
+        job_shares = weighted_shares(job_demands, tenant_shares[tenant])
+        allocation.update(job_shares)
+    return allocation
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index over ``values`` (1.0 = perfectly even).
+
+    Conventionally applied to per-tenant *normalized* service (e.g. slot-
+    seconds divided by weight).  An empty or all-zero list scores 1.0.
+    """
+    meaningful = [value for value in values if value > 0]
+    if not meaningful:
+        return 1.0
+    total = sum(meaningful)
+    squares = sum(value * value for value in meaningful)
+    return (total * total) / (len(values) * squares)

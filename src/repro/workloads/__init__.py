@@ -1,5 +1,10 @@
 """The paper's evaluation workloads as Cumulon programs."""
 
+from repro.workloads.catalog import (
+    SCALES,
+    WORKLOAD_NAMES,
+    build_workload,
+)
 from repro.workloads.chains import (
     build_chain_program,
     build_multiply_program,
@@ -38,6 +43,9 @@ from repro.workloads.rsvd import (
 )
 
 __all__ = [
+    "SCALES",
+    "WORKLOAD_NAMES",
+    "build_workload",
     "build_chain_program",
     "build_multiply_program",
     "build_power_iteration_program",

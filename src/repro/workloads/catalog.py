@@ -1,0 +1,67 @@
+"""Named workloads at preset scales — the registry behind the CLI.
+
+Both the CLI (``repro explain gnmf --scale small``) and the job-service
+submission scripts (:mod:`repro.service.script`) refer to workloads by
+``(name, scale)`` pairs; this module is the single place those spellings
+resolve to :class:`~repro.core.program.Program` builders.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import Program
+from repro.errors import ReproError
+from repro.workloads.chains import (
+    build_multiply_program,
+    build_power_iteration_program,
+)
+from repro.workloads.gnmf import build_gnmf_program
+from repro.workloads.kmeans import build_soft_kmeans_program
+from repro.workloads.logistic import build_logistic_program
+from repro.workloads.pca import build_pca_program
+from repro.workloads.regression import build_normal_equations_program
+from repro.workloads.rsvd import build_rsvd_program
+
+#: scale name -> (rows-ish base dimension, tile size)
+SCALES = {
+    "tiny": (1024, 256),
+    "small": (8192, 1024),
+    "medium": (32768, 2048),
+    "large": (131072, 4096),
+}
+
+#: The workload names :func:`build_workload` understands.
+WORKLOAD_NAMES = ("multiply", "gnmf", "rsvd", "regression", "pagerank",
+                  "logistic", "pca", "kmeans")
+
+
+def build_workload(name: str, scale: str) -> tuple[Program, int]:
+    """Instantiate a named workload at a preset scale.
+
+    Returns ``(program, tile_size)`` — the tile size is the scale's
+    preset, matched to the matrix dimensions.
+    """
+    if scale not in SCALES:
+        raise ReproError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
+    base, tile = SCALES[scale]
+    if name == "multiply":
+        return build_multiply_program(base, base, base), tile
+    if name == "gnmf":
+        return build_gnmf_program(base, base // 2, 128, iterations=3), tile
+    if name == "rsvd":
+        return build_rsvd_program(base, base // 4, 2048,
+                                  power_iterations=1), tile
+    if name == "regression":
+        return build_normal_equations_program(base * 8, 4096), tile
+    if name == "pagerank":
+        return build_power_iteration_program(base, iterations=5,
+                                             adjacency_density=0.001), tile
+    if name == "logistic":
+        return build_logistic_program(base * 4, 2048, iterations=3,
+                                      learning_rate=0.01), tile
+    if name == "pca":
+        return build_pca_program(base * 4, 4096, 512), tile
+    if name == "kmeans":
+        return build_soft_kmeans_program(base * 4, 2048, 64,
+                                         iterations=3), tile
+    raise ReproError(f"unknown workload {name!r}; choose from: "
+                     f"{', '.join(WORKLOAD_NAMES)}")

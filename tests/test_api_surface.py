@@ -1,0 +1,77 @@
+"""Locks the supported public surface of :mod:`repro.api`.
+
+The snapshot at ``tests/fixtures/api_surface.txt`` is the covenant: one
+``name kind`` pair per line for every entry in ``repro.api.__all__``.
+Adding to the surface means updating the snapshot in the same change
+(deliberately); removing or re-typing a name fails this test until the
+snapshot says so too.  Regenerate with::
+
+    PYTHONPATH=src python tests/test_api_surface.py --regen
+"""
+
+import inspect
+import sys
+from pathlib import Path
+
+import repro.api as api
+
+SNAPSHOT = Path(__file__).parent / "fixtures" / "api_surface.txt"
+
+
+def surface_lines() -> list[str]:
+    """The current surface as sorted ``name kind`` lines."""
+    lines = []
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if inspect.isclass(obj):
+            kind = "class"
+        elif inspect.isfunction(obj):
+            kind = "function"
+        else:
+            kind = type(obj).__name__
+        lines.append(f"{name} {kind}")
+    return lines
+
+
+def test_all_is_sorted_and_complete():
+    assert list(api.__all__) == sorted(api.__all__), \
+        "__all__ must stay sorted for diffable snapshots"
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    assert not missing, f"__all__ names not importable: {missing}"
+
+
+def test_star_import_exposes_exactly_all():
+    namespace = {}
+    exec("from repro.api import *", namespace)
+    exported = {name for name in namespace if not name.startswith("_")}
+    exported.discard("__builtins__")
+    assert exported == set(api.__all__)
+
+
+def test_surface_matches_snapshot():
+    recorded = SNAPSHOT.read_text().splitlines()
+    current = surface_lines()
+    assert current == recorded, (
+        "repro.api surface drifted from tests/fixtures/api_surface.txt.\n"
+        "If the change is intentional, regenerate the snapshot:\n"
+        "  PYTHONPATH=src python tests/test_api_surface.py --regen\n"
+        f"added: {sorted(set(current) - set(recorded))}\n"
+        f"removed: {sorted(set(recorded) - set(current))}")
+
+
+def test_facade_has_no_unlisted_public_names():
+    unlisted = [
+        name for name in dir(api)
+        if not name.startswith("_")
+        and name not in api.__all__
+        and not inspect.ismodule(getattr(api, name))
+    ]
+    assert not unlisted, f"public but not in __all__: {unlisted}"
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        SNAPSHOT.write_text("\n".join(surface_lines()) + "\n")
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print("\n".join(surface_lines()))
