@@ -284,9 +284,11 @@ def cmd_trace(args, out) -> int:
                   for name, var in program.inputs.items()}
         actual_recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
         workers = args.workers if args.workers is not None else 2
-        executor = CumulonExecutor(tile_size=tile, max_workers=workers,
-                                   recorder=actual_recorder)
-        executor.run(program, inputs)
+        with CumulonExecutor(tile_size=tile, max_workers=workers,
+                             recorder=actual_recorder,
+                             backend=getattr(args, "backend", "thread")
+                             ) as executor:
+            executor.run(program, inputs)
         traces.append(actual_recorder.trace())
         diff_text = explain_trace_diff(trace_diff(traces[0], traces[1]))
     if args.json:
@@ -558,6 +560,11 @@ def _workers_parent() -> argparse.ArgumentParser:
     parent.add_argument("--workers", type=int, default=None,
                         help="thread-pool size (default depends on the "
                              "command; 0 = sequential)")
+    parent.add_argument("--backend", choices=["thread", "process"],
+                        default="thread",
+                        help="local execution backend for real runs: "
+                             "'thread' (default) or 'process' (kernel "
+                             "worker pool over shared memory)")
     return parent
 
 

@@ -102,7 +102,8 @@ class IterativeRunner:
                  tile_size: int = 64,
                  checkpointer: Checkpointer | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 backend: str = "thread"):
         if not state_variables:
             raise ValidationError("state_variables must be non-empty")
         self.program_factory = program_factory
@@ -114,6 +115,8 @@ class IterativeRunner:
         #: the scripted ``crash_after``) exercise the resume path.
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+        #: Local execution backend forwarded to the per-run executor.
+        self.backend = backend
 
     def run(self, initial_state: dict[str, np.ndarray], iterations: int,
             crash_after: int | None = None) -> IterationResult:
@@ -149,26 +152,27 @@ class IterativeRunner:
 
     def _iterate(self, state, start: int, iterations: int,
                  crash_after: int | None) -> IterationResult:
-        executor = CumulonExecutor(tile_size=self.tile_size,
-                                   retry_policy=self.retry_policy,
-                                   fault_injector=self.fault_injector)
-        iteration = start
-        for step in range(iterations):
-            program = self.program_factory()
-            inputs = dict(self.static_inputs)
-            inputs.update(state)
-            result = executor.run(program, inputs)
-            state = {name: result.output(name)
-                     for name in self.state_variables}
-            iteration += 1
-            if self.checkpointer is not None:
-                self.checkpointer.save(
-                    f"iter-{iteration}",
-                    {name: result.tiled_outputs[name]
-                     for name in self.state_variables},
-                )
-            if crash_after is not None and step + 1 >= crash_after:
-                raise ExecutionError(
-                    f"simulated crash after iteration {iteration}"
-                )
-        return IterationResult(iteration=iteration, state=state)
+        with CumulonExecutor(tile_size=self.tile_size,
+                             retry_policy=self.retry_policy,
+                             fault_injector=self.fault_injector,
+                             backend=self.backend) as executor:
+            iteration = start
+            for step in range(iterations):
+                program = self.program_factory()
+                inputs = dict(self.static_inputs)
+                inputs.update(state)
+                result = executor.run(program, inputs)
+                state = {name: result.output(name)
+                         for name in self.state_variables}
+                iteration += 1
+                if self.checkpointer is not None:
+                    self.checkpointer.save(
+                        f"iter-{iteration}",
+                        {name: result.tiled_outputs[name]
+                         for name in self.state_variables},
+                    )
+                if crash_after is not None and step + 1 >= crash_after:
+                    raise ExecutionError(
+                        f"simulated crash after iteration {iteration}"
+                    )
+            return IterationResult(iteration=iteration, state=state)

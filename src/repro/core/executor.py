@@ -19,6 +19,7 @@ from repro.core.physical import PhysicalContext
 from repro.core.program import Program
 from repro.errors import ExecutionError, ValidationError
 from repro.hadoop.local import (
+    BACKEND_THREAD,
     FaultInjector,
     LocalExecutor,
     LocalRunReport,
@@ -58,12 +59,14 @@ class CumulonExecutor:
                  metrics: MetricsRegistry = NULL_METRICS,
                  retry_policy: RetryPolicy | None = None,
                  fault_injector: FaultInjector | None = None,
+                 backend: str = BACKEND_THREAD,
                  params: CompilerParams | None = None):
         compiler_params = resolve_renamed_kwarg(
             "CumulonExecutor", "params", "compiler_params",
             params, compiler_params)
         self.tile_size = tile_size
         self.max_workers = max_workers
+        self.backend = backend
         self.compiler_params = (compiler_params if compiler_params is not None
                                 else CompilerParams())
         self.backing = backing if backing is not None else DenseBacking()
@@ -71,12 +74,37 @@ class CumulonExecutor:
         self.metrics = metrics
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+        self._local: LocalExecutor | None = None
 
     @property
     def params(self) -> CompilerParams:
         """Deprecated alias for :attr:`compiler_params`."""
         warn_renamed("CumulonExecutor", "params", "compiler_params")
         return self.compiler_params
+
+    def _local_executor(self) -> LocalExecutor:
+        # Reused across runs so the process backend's worker pool survives
+        # between programs instead of respawning per run.
+        if self._local is None:
+            self._local = LocalExecutor(max_workers=self.max_workers,
+                                        recorder=self.recorder,
+                                        metrics=self.metrics,
+                                        retry_policy=self.retry_policy,
+                                        fault_injector=self.fault_injector,
+                                        backend=self.backend)
+        return self._local
+
+    def close(self) -> None:
+        """Release backend resources (the process backend's worker pool)."""
+        if self._local is not None:
+            self._local.close()
+            self._local = None
+
+    def __enter__(self) -> "CumulonExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, program: Program,
             inputs: dict[str, np.ndarray] | None = None) -> ExecutionResult:
@@ -90,10 +118,7 @@ class CumulonExecutor:
             compiled = compile_program(program, context, self.compiler_params,
                                        recorder=recorder,
                                        metrics=self.metrics)
-        executor = LocalExecutor(max_workers=self.max_workers,
-                                 recorder=recorder, metrics=self.metrics,
-                                 retry_policy=self.retry_policy,
-                                 fault_injector=self.fault_injector)
+        executor = self._local_executor()
         with recorder.span(f"execute:{program.name}", "executor"):
             report = executor.run(compiled.dag)
         with recorder.span(f"collect-outputs:{program.name}", "executor"):
@@ -145,11 +170,12 @@ def run_program(program: Program, inputs: dict[str, np.ndarray] | None = None,
                 max_workers: int = 4,
                 compiler_params: CompilerParams | None = None,
                 recorder: TraceRecorder = NULL_RECORDER,
+                backend: str = BACKEND_THREAD,
                 params: CompilerParams | None = None) -> ExecutionResult:
     """One-shot convenience: execute ``program`` and return its results."""
     compiler_params = resolve_renamed_kwarg(
         "run_program", "params", "compiler_params", params, compiler_params)
-    executor = CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
-                               compiler_params=compiler_params,
-                               recorder=recorder)
-    return executor.run(program, inputs)
+    with CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
+                         compiler_params=compiler_params,
+                         recorder=recorder, backend=backend) as executor:
+        return executor.run(program, inputs)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CompilationError, ShapeError, ValidationError
+from repro.hadoop import kernels
 from repro.hadoop.job import Job, JobKind
 from repro.hadoop.task import TaskWork, make_map_task
 from repro.hdfs.tilestore import TileStore
@@ -498,6 +499,11 @@ def _mult_runner(left: Operand, right: Operand, target_matrix: TiledMatrix,
         raise CompilationError("attach_run requires the target TiledMatrix")
 
     def run() -> None:
+        if _dispatch_mult(left, right, target_matrix,
+                          i_range, j_range, k_range, context):
+            return
+        # Reference inline path: the thread backend and any task the active
+        # dispatcher cannot take (sparse payloads) run exactly this.
         for i in range(*i_range):
             for j in range(*j_range):
                 accumulator = None
@@ -512,6 +518,74 @@ def _mult_runner(left: Operand, right: Operand, target_matrix: TiledMatrix,
                 target_matrix.put_tile(i, j, _to_array(accumulator))
 
     return run
+
+
+def _dispatch_mult(left: Operand, right: Operand, target_matrix: TiledMatrix,
+                   i_range, j_range, k_range,
+                   context: PhysicalContext) -> bool:
+    """Batch this task's whole (i, j, k) block into one kernel plan.
+
+    Returns False (and computes nothing) when no dispatcher is installed or
+    any input tile is sparse — the sparse*sparse kernel stays inline so its
+    CSR arithmetic matches the reference path bit for bit.  Each input tile
+    enters the payload table once, even though the inline loop would re-read
+    it per output tile; results are identical, reads are fewer.
+    """
+    dispatcher = kernels.current_dispatcher()
+    if dispatcher is None:
+        return False
+    left_payloads: list = []
+    right_payloads: list = []
+    for i in range(*i_range):
+        for k in range(*k_range):
+            tile = context.read_tile(left.tile_id(i, k))
+            if tile.is_sparse:
+                return False
+            left_payloads.append(tile.data)
+    for k in range(*k_range):
+        for j in range(*j_range):
+            tile = context.read_tile(right.tile_id(k, j))
+            if tile.is_sparse:
+                return False
+            right_payloads.append(tile.data)
+    positions = [(i, j)
+                 for i in range(*i_range) for j in range(*j_range)]
+    out_shapes = tuple(target_matrix.grid.tile_shape(i, j)
+                       for i, j in positions)
+    # The payload table already *is* the A block followed by the B block,
+    # so when tile shapes are uniform per operand the whole task reduces
+    # to grid geometry — backends then skip per-term plan encoding.
+    a_shape = left_payloads[0].shape
+    b_shape = right_payloads[0].shape
+    if (all(p.shape == a_shape for p in left_payloads)
+            and all(p.shape == b_shape for p in right_payloads)
+            and all(shape == out_shapes[0] for shape in out_shapes)):
+        plan = kernels.GridMultPlan(
+            ni=i_range[1] - i_range[0], nj=j_range[1] - j_range[0],
+            nk=k_range[1] - k_range[0],
+            a_shape=(int(a_shape[0]), int(a_shape[1])),
+            b_shape=(int(b_shape[0]), int(b_shape[1])),
+            left_transposed=left.transposed,
+            right_transposed=right.transposed,
+            out_shape=out_shapes[0])
+        results = dispatcher.run_grid_mult(left_payloads, right_payloads,
+                                           plan)
+    else:
+        n_left = len(left_payloads)
+        n_k = k_range[1] - k_range[0]
+        n_j = j_range[1] - j_range[0]
+        outputs = tuple(
+            tuple(((i - i_range[0]) * n_k + (k - k_range[0]),
+                   n_left + (k - k_range[0]) * n_j + (j - j_range[0]))
+                  for k in range(*k_range))
+            for i, j in positions)
+        transposed = (left.transposed,) * n_left \
+            + (right.transposed,) * len(right_payloads)
+        plan = kernels.BlockPlan(transposed, outputs, out_shapes)
+        results = dispatcher.run_plan(left_payloads + right_payloads, plan)
+    for (i, j), (array, nnz) in zip(positions, results):
+        target_matrix.put_tile(i, j, array, nnz=nnz)
+    return True
 
 
 def _operand_payload(operand: Operand, tile_row: int, tile_col: int,
@@ -572,6 +646,8 @@ def _add_runner(partials: list[MatrixInfo], chunk,
         raise CompilationError("attach_run requires the output TiledMatrix")
 
     def run() -> None:
+        if _dispatch_add(partials, chunk, output_matrix, context):
+            return
         for row, col in chunk:
             total = None
             for partial in partials:
@@ -581,3 +657,34 @@ def _add_runner(partials: list[MatrixInfo], chunk,
             output_matrix.put_tile(row, col, total)
 
     return run
+
+
+def _dispatch_add(partials: list[MatrixInfo], chunk,
+                  output_matrix: TiledMatrix,
+                  context: PhysicalContext) -> bool:
+    """Batch a chunk of partial-sum positions into one kernel plan.
+
+    Sparse partials are densified here exactly as the inline loop would
+    (``tile.to_dense()``), so the summation the worker performs is the same
+    operation sequence on the same floats.
+    """
+    dispatcher = kernels.current_dispatcher()
+    if dispatcher is None:
+        return False
+    payloads: list = []
+    outputs = []
+    for row, col in chunk:
+        terms = []
+        for partial in partials:
+            tile = context.read_tile(TileId(partial.name, row, col))
+            terms.append((len(payloads), None))
+            payloads.append(tile.to_dense())
+        outputs.append(tuple(terms))
+    grid = output_matrix.grid
+    out_shapes = tuple(grid.tile_shape(row, col) for row, col in chunk)
+    plan = kernels.BlockPlan((False,) * len(payloads), tuple(outputs),
+                             out_shapes)
+    for (row, col), (array, nnz) in zip(chunk,
+                                        dispatcher.run_plan(payloads, plan)):
+        output_matrix.put_tile(row, col, array, nnz=nnz)
+    return True

@@ -57,7 +57,12 @@ class CumulonSession:
     ``storage_nodes`` and ``params`` are the deprecated spellings of
     ``nodes`` and ``compiler_params``.  ``telemetry`` (default on) keeps
     an in-memory trace recorder and metrics registry wired through every
-    run — :attr:`trace` and :attr:`metrics` expose them.
+    run — :attr:`trace` and :attr:`metrics` expose them.  ``backend``
+    selects the local execution backend (``"thread"`` or ``"process"`` —
+    see :mod:`repro.hadoop.local`); ``codec`` stores tiles compressed at
+    rest (see :mod:`repro.hdfs.tilestore`).  Sessions are context managers;
+    use ``with`` (or call :meth:`close`) when running the process backend
+    so its worker pool is torn down deterministically.
     """
 
     def __init__(self, tile_size: int = 256, max_workers: int = 4,
@@ -67,6 +72,8 @@ class CumulonSession:
                  slots_per_node: int | None = None,
                  compiler_params: CompilerParams | None = None,
                  telemetry: bool = True,
+                 backend: str = "thread",
+                 codec: str | None = None,
                  storage_nodes: int | None = None,
                  params: CompilerParams | None = None):
         nodes = resolve_renamed_kwarg("CumulonSession", "storage_nodes",
@@ -98,11 +105,13 @@ class CumulonSession:
         self._registry = MetricsRegistry() if telemetry else NULL_METRICS
         self.cluster: ProvisionedCluster = provision(spec,
                                                      replication=replication)
-        self.store = TileStore(self.cluster.namenode)
+        self.store = TileStore(self.cluster.namenode, codec=codec,
+                               metrics=self._registry)
         self._executor = CumulonExecutor(
             tile_size=tile_size, max_workers=max_workers,
             compiler_params=self.compiler_params, backing=self.store,
             recorder=self._recorder, metrics=self._registry,
+            backend=backend,
         )
         # Lazily built: most sessions only ingest + optimize, and building
         # the service pulls in the whole admission/scheduling stack.
@@ -237,3 +246,16 @@ class CumulonSession:
             relative = path[len(self.store.root) + 1:]
             names.add(relative.split("/")[0])
         return sorted(names)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor backend resources and the store's fast path."""
+        self._executor.close()
+        self.store.close()
+
+    def __enter__(self) -> "CumulonSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

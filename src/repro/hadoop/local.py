@@ -26,6 +26,19 @@ index).
 Fault injection: a :class:`FaultInjector` hook fires before each attempt's
 real work, so chaos tests can kill precise (task, attempt) pairs — the same
 crash surface :mod:`repro.core.checkpoint` recovers from.
+
+Backends: ``backend="thread"`` (the default, and the reference semantics)
+runs every kernel in-process.  ``backend="process"`` keeps the *same*
+thread-pool orchestration — identical scheduling, retry, timeout, fault
+injection, and trace events — but installs a
+:class:`~repro.hadoop.procpool.ProcessDispatcher` for the duration of the
+run, so tasks that can express their arithmetic as a declarative
+:class:`~repro.hadoop.kernels.BlockPlan` (tiled multiplies, partial-sum
+adds) batch it into one shared-memory round-trip to a pool of worker
+processes.  Tasks that cannot (fused element-wise lambdas, test closures)
+run inline exactly as the thread backend would, which is what makes the two
+backends differentially testable: same tasks, same trace, bit-identical
+tiles.
 """
 
 from __future__ import annotations
@@ -192,25 +205,71 @@ class _SlotPool:
             heapq.heappush(self._free, slot)
 
 
+#: Executor backends: in-process kernels vs. a shared-memory process pool.
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+BACKENDS = (BACKEND_THREAD, BACKEND_PROCESS)
+
+
 class LocalExecutor:
-    """Executes job DAGs with real computation on a thread pool."""
+    """Executes job DAGs with real computation on a thread pool.
+
+    With ``backend="process"``, CPU-bound tile kernels additionally batch
+    out to a pool of worker processes over shared memory (see the module
+    docstring); orchestration, retries, and traces are identical across
+    backends by construction.  The kernel pool is created lazily on the
+    first run, kept warm across runs, and torn down by :meth:`close` (or
+    automatically at interpreter exit).
+    """
 
     def __init__(self, max_workers: int = 4,
                  recorder: TraceRecorder = NULL_RECORDER,
                  metrics: MetricsRegistry = NULL_METRICS,
                  retry_policy: RetryPolicy | None = None,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 backend: str = BACKEND_THREAD):
         if max_workers <= 0:
             raise ExecutionError("max_workers must be positive")
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.max_workers = max_workers
         self.recorder = recorder
         self.metrics = metrics
         self.retry_policy = retry_policy if retry_policy is not None \
             else NO_RETRY
         self.fault_injector = fault_injector
+        self.backend = backend
+        self._kernel_pool = None
+
+    def kernel_pool(self):
+        """The lazily-created process pool (process backend only)."""
+        if self.backend != BACKEND_PROCESS:
+            return None
+        if self._kernel_pool is None:
+            from repro.hadoop.procpool import KernelPool
+            self._kernel_pool = KernelPool(self.max_workers)
+        return self._kernel_pool
+
+    def close(self) -> None:
+        """Shut down the kernel pool, if one was started."""
+        if self._kernel_pool is not None:
+            self._kernel_pool.close()
+            self._kernel_pool = None
 
     def run(self, dag: JobDag) -> LocalRunReport:
         """Execute all jobs in dependency order; returns timing report."""
+        if self.metrics.enabled:
+            self.metrics.inc(f"local.runs.{self.backend}")
+        if self.backend == BACKEND_PROCESS:
+            from repro.hadoop import kernels
+            from repro.hadoop.procpool import ProcessDispatcher
+            dispatcher = ProcessDispatcher(self.kernel_pool(), self.metrics)
+            with kernels.use_dispatcher(dispatcher):
+                return self._run_dag(dag)
+        return self._run_dag(dag)
+
+    def _run_dag(self, dag: JobDag) -> LocalRunReport:
         report = LocalRunReport()
         finished: set[str] = set()
         slots = _SlotPool(self.max_workers)

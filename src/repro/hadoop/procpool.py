@@ -1,0 +1,505 @@
+"""Process-parallel kernel pool: CPU-bound tile kernels off the GIL.
+
+The thread backend runs every tile kernel in the executor process; numpy
+releases the GIL inside its BLAS calls, but all the Python *around* those
+calls — store lookups, sparsity probes, shape checks, tile construction —
+serializes on the GIL and, for laptop-scale tiles, dominates the clock.
+This module moves that work out of the executor process: a small pool of
+long-lived worker processes evaluates whole :class:`~repro.hadoop.kernels.
+BlockPlan` batches, one pipe round-trip per *task* rather than per tile.
+
+Payloads travel through ``multiprocessing.shared_memory`` buffers, never
+through pickle: the dispatcher packs a task's input tiles into one request
+segment (a single memcpy per tile), the worker maps it and evaluates the
+plan with :func:`~repro.hadoop.kernels.execute_plan` — the same evaluator
+the inline path uses, so floats are bit-identical — and writes dense
+results into a response segment the parent pre-sized from the plan's
+declared output shapes.  Nonzero counts come back over the pipe so the
+parent can compact result tiles without recounting.
+
+Platform notes: workers start via ``fork`` where available (Linux; ``spawn``
+elsewhere, with its per-worker interpreter startup cost), are daemonic (they
+can never outlive the executor), and a worker that dies mid-request is
+respawned on next acquire — the failed attempt surfaces as an ordinary
+:class:`~repro.errors.ExecutionError`, so the executor's retry policy
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ExecutionError, ValidationError
+from repro.hadoop.kernels import (
+    BlockPlan,
+    GridMultPlan,
+    KernelDispatcher,
+    PackedPlan,
+    execute_grid_mult,
+    execute_packed,
+    execute_plan,
+    pack_plan,
+)
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+
+#: Seconds the dispatcher waits for one plan before declaring the worker hung.
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
+_SENTINEL = None
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, instant workers)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# -- worker side ---------------------------------------------------------------
+
+def _worker_main(conn) -> None:
+    """Worker loop: map request buffers, evaluate plans, reply with nnz."""
+    segments: dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:  # parent went away
+                return
+            if request is _SENTINEL:
+                return
+            try:
+                counts = _serve_request(segments, request)
+                conn.send((True, counts))
+            except Exception as exc:  # surface, don't kill the worker
+                conn.send((False, f"{type(exc).__name__}: {exc}"))
+    finally:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray view at exit
+                pass
+
+
+def _serve_request(segments, request):
+    in_name, in_slots, out_name, plan = request
+    # Segment names are stable across requests (the parent reuses its
+    # per-worker buffers), so attach once and keep the mapping: the attach
+    # syscalls would otherwise dominate small-tile dispatches.
+    shm_in = _attach(segments, "in", in_name)
+    shm_out = _attach(segments, "out", out_name)
+    if isinstance(plan, GridMultPlan):
+        return _evaluate_grid_into(shm_in, shm_out, plan)
+    if isinstance(plan, PackedPlan):
+        return _evaluate_packed_into(shm_in, shm_out, plan)
+    return _evaluate_into(shm_in, shm_out, in_slots, plan)
+
+
+def _attach(segments, role: str, name: str) -> shared_memory.SharedMemory:
+    cached = segments.get(role)
+    if cached is not None and cached.name == name:
+        return cached
+    if cached is not None:
+        # The parent grew this buffer under a fresh name; any views into
+        # the old mapping died with earlier request frames.
+        cached.close()
+    shm = shared_memory.SharedMemory(name=name)
+    segments[role] = shm
+    return shm
+
+
+def _evaluate_into(shm_in, shm_out, in_slots, plan: BlockPlan
+                   ) -> tuple[int, ...]:
+    payloads = [_slot_view(shm_in.buf, offset, shape)
+                for offset, shape in in_slots]
+    results = execute_plan(plan, payloads)
+    counts = []
+    offset = 0
+    for (array, nnz), shape in zip(results, plan.out_shapes):
+        out_view = _slot_view(shm_out.buf, offset, shape, writable=True)
+        out_view[:] = array
+        offset += array.nbytes
+        counts.append(nnz)
+    return tuple(counts)
+
+
+def _evaluate_grid_into(shm_in, shm_out, plan: GridMultPlan) -> np.ndarray:
+    """Structured mult fast path: the A and B blocks are back-to-back in
+    the request buffer; evaluation runs over views of them."""
+    a_rows, a_cols = plan.a_shape
+    b_rows, b_cols = plan.b_shape
+    a_count = plan.a_count * a_rows * a_cols
+    a_block = np.frombuffer(shm_in.buf, dtype=np.float64,
+                            count=a_count).reshape(
+                                plan.a_count, a_rows, a_cols)
+    b_block = np.frombuffer(shm_in.buf, dtype=np.float64,
+                            count=plan.b_count * b_rows * b_cols,
+                            offset=a_count * 8).reshape(
+                                plan.b_count, b_rows, b_cols)
+    a_block.flags.writeable = False
+    b_block.flags.writeable = False
+    outputs, counts = execute_grid_mult(plan, a_block, b_block)
+    out_view = np.frombuffer(shm_out.buf, dtype=np.float64,
+                             count=outputs.size).reshape(outputs.shape)
+    out_view[:] = outputs
+    return counts
+
+
+def _evaluate_packed_into(shm_in, shm_out, packed: PackedPlan) -> np.ndarray:
+    """Regular-shape fast path: evaluate with a few C-level calls.
+
+    The payload table is the request buffer reinterpreted as one 3-D array
+    (uniform slots are laid out back to back), and all outputs write back
+    with a single vectorized copy.
+    """
+    rows, cols = packed.payload_shape
+    table = np.frombuffer(
+        shm_in.buf, dtype=np.float64,
+        count=packed.n_payloads * rows * cols).reshape(
+            packed.n_payloads, rows, cols)
+    table.flags.writeable = False
+    outputs, counts = execute_packed(packed, table)
+    out_view = np.frombuffer(
+        shm_out.buf, dtype=np.float64,
+        count=outputs.size).reshape(outputs.shape)
+    out_view[:] = outputs
+    return counts
+
+
+def _slot_view(buf, offset: int, shape: tuple[int, int],
+               writable: bool = False) -> np.ndarray:
+    view = np.frombuffer(buf, dtype=np.float64,
+                         count=shape[0] * shape[1],
+                         offset=offset).reshape(shape)
+    if not writable:
+        view.flags.writeable = False
+    return view
+
+
+# -- parent side ---------------------------------------------------------------
+
+class _WorkerHandle:
+    """One worker process plus the parent end of its pipe and the pair of
+    reusable shared-memory buffers dispatches to it go through."""
+
+    def __init__(self, context):
+        self._context = context
+        self.conn = None
+        self.process = None
+        #: Persistent request/response segments, grown geometrically on
+        #: demand and reused across dispatches (creating + unlinking a
+        #: segment per plan costs more than small-tile kernels themselves).
+        self.shm_in = None
+        self.shm_out = None
+        self.spawn()
+
+    def ensure_buffers(self, in_bytes: int, out_bytes: int) -> None:
+        """Make the reusable segments at least the requested sizes."""
+        self.shm_in = _grown(self.shm_in, in_bytes)
+        self.shm_out = _grown(self.shm_out, out_bytes)
+
+    def release_buffers(self) -> None:
+        for attr in ("shm_in", "shm_out"):
+            shm = getattr(self, attr)
+            if shm is None:
+                continue
+            setattr(self, attr, None)
+            try:
+                shm.close()
+                shm.unlink()
+            except (BufferError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def spawn(self) -> None:
+        """(Re)start the worker process."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main, args=(child_conn,),
+            name="repro-kernel-worker", daemon=True)
+        process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.process = process
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            if self.alive:
+                self.conn.send(_SENTINEL)
+                self.process.join(timeout=2.0)
+            if self.process is not None and self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2.0)
+        except (OSError, BrokenPipeError, ValueError):  # pragma: no cover
+            pass
+        finally:
+            self.release_buffers()
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def _grown(shm, needed: int):
+    """Return ``shm`` if it already fits, else a fresh larger segment."""
+    if shm is not None and shm.size >= needed:
+        return shm
+    if shm is not None:
+        try:
+            shm.close()
+            shm.unlink()
+        except (BufferError, FileNotFoundError):  # pragma: no cover
+            pass
+    # Grow in 1.5x steps so a slowly-rising high-water mark does not
+    # recreate (and force the worker to re-attach) a segment per dispatch.
+    size = max(4096, needed, 0 if shm is None else int(shm.size * 1.5))
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+class KernelPool:
+    """A fixed-size pool of kernel worker processes.
+
+    Workers are started eagerly so the first dispatched task does not pay
+    the startup cost, handed out one-per-caller like the executor's slot
+    pool, and respawned transparently if one dies.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT):
+        if workers <= 0:
+            raise ValidationError(
+                f"kernel pool needs >= 1 worker, got {workers}")
+        if request_timeout <= 0:
+            raise ValidationError("request_timeout must be positive")
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self._context = multiprocessing.get_context(
+            start_method or _preferred_start_method())
+        # Start the shm resource tracker *before* forking workers: children
+        # then inherit (and share) it, so a worker's attach-registration and
+        # the parent's unlink-unregistration meet in one tracker and balance.
+        # Forked-after-the-fact workers would each spawn a private tracker
+        # that warns about "leaked" segments the parent already unlinked.
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+        self._handles = [_WorkerHandle(self._context)
+                         for _ in range(workers)]
+        self._free = list(self._handles)
+        self._condition = threading.Condition()
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, KernelPool._stop_all, self._handles)
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the workers use."""
+        return self._context.get_start_method()
+
+    def acquire(self) -> _WorkerHandle:
+        """Borrow a live worker (blocks if all are busy)."""
+        with self._condition:
+            while not self._free:
+                if self._closed:
+                    raise ExecutionError("kernel pool is closed")
+                self._condition.wait()
+            handle = self._free.pop()
+        if not handle.alive:
+            handle.spawn()
+        return handle
+
+    def release(self, handle: _WorkerHandle) -> None:
+        """Return a borrowed worker to the pool."""
+        with self._condition:
+            self._free.append(handle)
+            self._condition.notify()
+
+    def close(self) -> None:
+        """Stop every worker.  Safe to call more than once."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        self._finalizer.detach()
+        KernelPool._stop_all(self._handles)
+
+    @staticmethod
+    def _stop_all(handles) -> None:
+        for handle in handles:
+            handle.stop()
+
+
+class ProcessDispatcher(KernelDispatcher):
+    """Ships kernel plans to a :class:`KernelPool` over shared memory."""
+
+    name = "process"
+
+    def __init__(self, pool: KernelPool,
+                 metrics: MetricsRegistry = NULL_METRICS):
+        self.pool = pool
+        self.metrics = metrics
+
+    def run_plan(self, payloads, plan: BlockPlan):
+        """Pack payloads, round-trip one plan through a worker, unpack."""
+        metrics = self.metrics
+        started = metrics.now() if metrics.enabled else 0.0
+        shape = payloads[0].shape
+        packed = None
+        if all(payload.shape == shape for payload in payloads):
+            packed = pack_plan(plan, shape)
+        if packed is not None:
+            results, in_bytes, out_bytes = self._run_packed(payloads, packed)
+        else:
+            results, in_bytes, out_bytes = self._run_general(payloads, plan)
+        if metrics.enabled:
+            metrics.inc("local.kernel_dispatches")
+            metrics.inc("local.kernel_dispatch_tiles", plan.num_tiles)
+            metrics.inc("local.kernel_dispatch_bytes", in_bytes + out_bytes)
+            if packed is not None:
+                metrics.inc("local.kernel_dispatch_packed")
+            metrics.observe("local.kernel_dispatch_seconds",
+                            metrics.now() - started)
+        return results
+
+    def run_grid_mult(self, a_payloads, b_payloads, plan: GridMultPlan):
+        """Structured mult path: two block writes, one block read, and a
+        plan that pickles as a handful of ints."""
+        metrics = self.metrics
+        started = metrics.now() if metrics.enabled else 0.0
+        a_bytes = plan.a_count * plan.a_shape[0] * plan.a_shape[1] * 8
+        b_bytes = plan.b_count * plan.b_shape[0] * plan.b_shape[1] * 8
+        out_rows, out_cols = plan.out_shape
+        out_bytes = plan.n_outputs * out_rows * out_cols * 8
+        handle = self.pool.acquire()
+        try:
+            handle.ensure_buffers(a_bytes + b_bytes, out_bytes)
+            self._pack_block(handle.shm_in, 0, plan.a_shape, a_payloads)
+            self._pack_block(handle.shm_in, a_bytes, plan.b_shape,
+                             b_payloads)
+            counts = self._round_trip(
+                handle, (handle.shm_in.name, None,
+                         handle.shm_out.name, plan))
+            block = np.frombuffer(
+                handle.shm_out.buf, dtype=np.float64,
+                count=plan.n_outputs * out_rows * out_cols).reshape(
+                    plan.n_outputs, out_rows, out_cols).copy()
+        finally:
+            self.pool.release(handle)
+        if metrics.enabled:
+            metrics.inc("local.kernel_dispatches")
+            metrics.inc("local.kernel_dispatch_tiles", plan.num_tiles)
+            metrics.inc("local.kernel_dispatch_bytes",
+                        a_bytes + b_bytes + out_bytes)
+            metrics.inc("local.kernel_dispatch_grid")
+            metrics.observe("local.kernel_dispatch_seconds",
+                            metrics.now() - started)
+        return [(block[index], int(count))
+                for index, count in enumerate(counts)]
+
+    @staticmethod
+    def _pack_block(shm_in, offset: int, shape: tuple[int, int],
+                    payloads) -> None:
+        rows, cols = shape
+        block = np.frombuffer(shm_in.buf, dtype=np.float64,
+                              count=len(payloads) * rows * cols,
+                              offset=offset).reshape(
+                                  len(payloads), rows, cols)
+        for index, payload in enumerate(payloads):
+            block[index] = payload
+
+    def _run_packed(self, payloads, packed: PackedPlan):
+        """Regular-shape fast path: one table write, one block read."""
+        rows, cols = packed.payload_shape
+        in_bytes = packed.n_payloads * rows * cols * 8
+        out_rows, out_cols = packed.out_shape
+        out_bytes = packed.n_outputs * out_rows * out_cols * 8
+        handle = self.pool.acquire()
+        try:
+            handle.ensure_buffers(in_bytes, out_bytes)
+            table = np.frombuffer(
+                handle.shm_in.buf, dtype=np.float64,
+                count=packed.n_payloads * rows * cols).reshape(
+                    packed.n_payloads, rows, cols)
+            for index, payload in enumerate(payloads):
+                table[index] = payload
+            del table  # release the buffer export before any buffer growth
+            counts = self._round_trip(
+                handle, (handle.shm_in.name, None,
+                         handle.shm_out.name, packed))
+            # One block copy out of the response buffer; result tiles are
+            # views of it, and every slice is used, so nothing is wasted.
+            block = np.frombuffer(
+                handle.shm_out.buf, dtype=np.float64,
+                count=packed.n_outputs * out_rows * out_cols).reshape(
+                    packed.n_outputs, out_rows, out_cols).copy()
+        finally:
+            self.pool.release(handle)
+        results = [(block[index], int(count))
+                   for index, count in enumerate(counts)]
+        return results, in_bytes, out_bytes
+
+    def _run_general(self, payloads, plan: BlockPlan):
+        """Tuple-plan path for irregular shapes and mixed term kinds."""
+        in_slots, in_bytes = _layout(
+            [(int(p.shape[0]), int(p.shape[1])) for p in payloads])
+        out_slots, out_bytes = _layout(plan.out_shapes)
+        handle = self.pool.acquire()
+        try:
+            handle.ensure_buffers(in_bytes, out_bytes)
+            self._pack(handle.shm_in, in_slots, payloads)
+            counts = self._round_trip(
+                handle, (handle.shm_in.name, in_slots,
+                         handle.shm_out.name, plan))
+            results = self._unpack(handle.shm_out, out_slots, counts)
+        finally:
+            self.pool.release(handle)
+        return results, in_bytes, out_bytes
+
+    @staticmethod
+    def _pack(shm_in, in_slots, payloads) -> None:
+        for payload, (offset, shape) in zip(payloads, in_slots):
+            _slot_view(shm_in.buf, offset, shape, writable=True)[:] = payload
+
+    def _round_trip(self, handle, request) -> tuple[int, ...]:
+        try:
+            handle.conn.send(request)
+            if not handle.conn.poll(self.pool.request_timeout):
+                handle.process.terminate()  # likely wedged — replace it
+                raise ExecutionError(
+                    f"kernel worker timed out after "
+                    f"{self.pool.request_timeout}s")
+            ok, body = handle.conn.recv()
+        except ExecutionError:
+            raise
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ExecutionError(
+                f"kernel worker died mid-plan: {exc}") from exc
+        if not ok:
+            raise ExecutionError(f"kernel plan failed in worker: {body}")
+        return body
+
+    @staticmethod
+    def _unpack(shm_out, out_slots, counts):
+        results = []
+        for (offset, shape), nnz in zip(out_slots, counts):
+            view = _slot_view(shm_out.buf, offset, shape)
+            results.append((view.copy(), int(nnz)))
+            del view  # release the buffer export before close/unlink
+        return results
+
+
+def _layout(shapes) -> tuple[tuple[tuple[int, tuple[int, int]], ...], int]:
+    """Assign sequential float64 slots for ``shapes``; returns (slots, total)."""
+    slots = []
+    offset = 0
+    for rows, cols in shapes:
+        slots.append((offset, (int(rows), int(cols))))
+        offset += rows * cols * 8
+    return tuple(slots), offset

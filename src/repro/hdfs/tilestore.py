@@ -4,15 +4,59 @@ Cumulon stores each matrix as an HDFS directory with one file per tile.  A
 :class:`TileStore` is a :class:`repro.matrix.tiled.TileBacking` whose payloads
 live in the simulated namenode, so the scheduler can ask "which node holds
 this tile?" and the cost model can ask "how many bytes does this job read?".
+
+Two storage modes:
+
+* **Object mode** (``codec=None``, the historical default): the live
+  :class:`~repro.matrix.tile.Tile` is the namenode payload; reads hand the
+  same object back.
+* **Codec-at-rest mode** (``codec="zlib1"`` etc.): the namenode holds an
+  :class:`~repro.matrix.compression.EncodedTile` blob — tiles are compressed
+  at rest like the 2013 system's — and reads must decode.
+
+Codec mode pairs with the **zero-copy fast path**: every ``put`` write-throughs
+the decoded tile into a resident table (optionally backed by a shared-memory
+:class:`~repro.matrix.arena.TileArena`, so the payload is a read-only view of
+mmap-backed pages that other local processes can map by name), and ``get``
+serves locally-resident tiles from it without touching the codec.  Only a
+genuinely cold read — a tile this process never wrote or already evicted —
+pays the decode.  :meth:`read_through_codec` deliberately bypasses the fast
+path so tests and audits can prove both paths return equal tiles.
+
+Metrics tell the two paths apart: ``tilestore.fastpath_hits`` counts reads
+the fast path absorbed, ``tilestore.codec_decodes``/``codec_encodes`` count
+real codec work (also mirrored on :attr:`codec_decodes`/:attr:`codec_encodes`
+for registry-free tests).  The namenode-side accounting — file sizes, block
+placement, ``tile_bytes``/``matrix_bytes`` — is identical in every mode, so
+nothing downstream of the cost model can tell the fast path is there.
 """
 
 from __future__ import annotations
 
-from repro.errors import FileNotFoundInHDFSError, StorageError
+from repro.errors import FileNotFoundInHDFSError, StorageError, ValidationError
 from repro.hdfs.namenode import NameNode
+from repro.matrix.arena import TileArena
+from repro.matrix.compression import (
+    Codec,
+    EncodedTile,
+    available_codecs,
+    decode_tile,
+    encode_tile,
+)
 from repro.matrix.tile import Tile, TileId
 from repro.matrix.tiled import TileBacking
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+
+
+def _resolve_codec(codec: "str | Codec | None") -> Codec | None:
+    if codec is None or isinstance(codec, Codec):
+        return codec
+    try:
+        return available_codecs()[codec]
+    except KeyError:
+        raise ValidationError(
+            f"unknown codec {codec!r}; expected one of "
+            f"{sorted(available_codecs())}") from None
 
 
 class TileStore(TileBacking):
@@ -21,27 +65,93 @@ class TileStore(TileBacking):
     With a recording :class:`MetricsRegistry`, the store counts tile hits
     and misses, HDFS block reads, and bytes moved — the storage-side
     telemetry behind locality and caching experiments.
+
+    ``codec`` selects codec-at-rest storage (see module docstring);
+    ``cache`` (default on) enables the resident fast path in codec mode;
+    ``arena`` — ``True`` for a private arena, or a shared
+    :class:`~repro.matrix.arena.TileArena` — additionally parks resident
+    dense payloads in shared memory and serves reads as zero-copy views.
     """
 
     def __init__(self, namenode: NameNode, root: str = "/matrices",
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 codec: "str | Codec | None" = None,
+                 cache: bool = True,
+                 arena: "TileArena | bool | None" = None):
         self.namenode = namenode
         self.root = root.rstrip("/")
         self.metrics = metrics
+        self.codec = _resolve_codec(codec)
+        self.cache_enabled = cache
+        if arena is True:
+            arena = TileArena()
+        self.arena: TileArena | None = arena or None
+        self._resident: dict[str, Tile] = {}
+        #: Codec invocation counters (also mirrored into ``metrics``).
+        self.codec_encodes = 0
+        self.codec_decodes = 0
 
     def path_for(self, tile_id: TileId) -> str:
         return f"{self.root}/{tile_id.key()}"
+
+    # -- codec + fast-path internals ---------------------------------------------
+
+    def _encode(self, tile: Tile) -> EncodedTile:
+        self.codec_encodes += 1
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.codec_encodes")
+        return encode_tile(tile, self.codec)
+
+    def _decode(self, encoded: EncodedTile, tile_id: TileId) -> Tile:
+        self.codec_decodes += 1
+        if self.metrics.enabled:
+            self.metrics.inc("tilestore.codec_decodes")
+        return decode_tile(encoded, self.codec, tile_id)
+
+    def _make_resident(self, path: str, tile: Tile) -> None:
+        """Write-through the fast path: pin ``tile`` for same-process reads."""
+        if not self.cache_enabled:
+            return
+        if self.arena is not None and not tile.is_sparse:
+            ref = self.arena.store(tile.data)
+            if ref is not None:
+                view_tile = Tile(tile.tile_id, self.arena.view(ref))
+                view_tile.arena_ref = ref
+                self._resident[path] = view_tile
+                return
+            # Arena full: fall through and pin the in-heap tile instead.
+        self._resident[path] = tile
+
+    def _evict(self, path: str) -> None:
+        tile = self._resident.pop(path, None)
+        if tile is not None and self.arena is not None:
+            ref = getattr(tile, "arena_ref", None)
+            if ref is not None:
+                self.arena.release(ref)
 
     # -- TileBacking interface ---------------------------------------------------
 
     def get(self, tile_id: TileId) -> Tile:
         path = self.path_for(tile_id)
+        resident = self._resident.get(path)
+        if resident is not None:
+            if self.metrics.enabled:
+                self.metrics.inc("tilestore.fastpath_hits")
+                self.metrics.inc("tilestore.hits")
+                self.metrics.inc("tilestore.bytes_read", resident.nbytes())
+                self.metrics.inc("tilestore.block_reads",
+                                 len(self.namenode.block_infos(path)))
+            return resident
         try:
             payload = self.namenode.read(path)
         except FileNotFoundInHDFSError:
             if self.metrics.enabled:
                 self.metrics.inc("tilestore.misses")
             raise
+        if isinstance(payload, EncodedTile):
+            tile = self._decode(payload, tile_id)
+            self._make_resident(path, tile)
+            payload = self._resident.get(path, tile)
         if not isinstance(payload, Tile):
             if self.metrics.enabled:
                 self.metrics.inc("tilestore.misses")
@@ -53,12 +163,36 @@ class TileStore(TileBacking):
                              len(self.namenode.block_infos(path)))
         return payload
 
+    def read_through_codec(self, tile_id: TileId) -> Tile:
+        """Read a tile the slow way: decode the at-rest payload, bypassing
+        the resident fast path.  In object mode this is a plain read.  Used
+        to verify the fast path returns exactly what the codec would."""
+        path = self.path_for(tile_id)
+        payload = self.namenode.read(path)
+        if isinstance(payload, EncodedTile):
+            return self._decode(payload, tile_id)
+        if not isinstance(payload, Tile):
+            raise StorageError(f"path {path} does not hold a tile")
+        return payload
+
     def put(self, tile: Tile, writer: str | None = None) -> None:
         """Write a tile, replacing any previous version (overwrite-on-put)."""
         path = self.path_for(tile.tile_id)
+        self._evict(path)
         if self.namenode.exists(path):
             self.namenode.delete(path)
-        self.namenode.create(path, tile.nbytes(), payload=tile, writer=writer)
+        if self.codec is not None:
+            encoded = self._encode(tile)
+            self.namenode.create(path, tile.nbytes(), payload=encoded,
+                                 writer=writer)
+            # Lossy codecs must pin what a decode would return, not the
+            # original — the fast path may never diverge from the blob.
+            resident = tile if self.codec.lossless \
+                else self._decode(encoded, tile.tile_id)
+            self._make_resident(path, resident)
+        else:
+            self.namenode.create(path, tile.nbytes(), payload=tile,
+                                 writer=writer)
         if self.metrics.enabled:
             self.metrics.inc("tilestore.puts")
             self.metrics.inc("tilestore.bytes_written", tile.nbytes())
@@ -72,6 +206,7 @@ class TileStore(TileBacking):
         actual numbers.
         """
         path = self.path_for(tile_id)
+        self._evict(path)
         if self.namenode.exists(path):
             self.namenode.delete(path)
         self.namenode.create(path, nbytes, payload=None, writer=writer)
@@ -113,5 +248,27 @@ class TileStore(TileBacking):
         prefix = f"{self.root}/{matrix_name}/"
         paths = self.namenode.list_files(prefix)
         for path in paths:
+            self._evict(path)
             self.namenode.delete(path)
         return len(paths)
+
+    # -- fast-path lifecycle -----------------------------------------------------
+
+    def resident_tiles(self) -> int:
+        """How many tiles the fast path currently pins."""
+        return len(self._resident)
+
+    def drop_resident(self) -> int:
+        """Evict every resident tile (subsequent reads pay the codec);
+        returns how many were dropped.  The arena keeps its segments —
+        outstanding views stay valid — but their space becomes garbage."""
+        count = len(self._resident)
+        for path in list(self._resident):
+            self._evict(path)
+        return count
+
+    def close(self) -> None:
+        """Drop resident tiles and release the arena's shared memory."""
+        self.drop_resident()
+        if self.arena is not None:
+            self.arena.close()

@@ -1,0 +1,206 @@
+"""Shared-memory tile arena: directly-addressable dense tile buffers.
+
+A :class:`TileArena` owns a set of ``multiprocessing.shared_memory`` slabs
+(mmap-backed pages under ``/dev/shm`` on Linux) and bump-allocates dense
+float64 tile payloads into them.  Readers get *views* over the mapped pages
+— no serialization, no codec, no copy — which is the storage half of the
+zero-copy fast path: a tile written by this process is re-read as a plain
+``np.ndarray`` view at pointer cost, and any other process on the machine
+can attach the same slab by name and map the same bytes read-only.
+
+The arena is deliberately simple: allocation only bumps forward, overwritten
+tiles leave garbage behind (tracked in :attr:`garbage_bytes`), and when the
+configured capacity is exhausted :meth:`store` returns ``None`` so callers
+fall back to their slower-but-always-correct path.  That makes the arena a
+*cache tier*, never a source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Default slab size: big enough to hold many laptop-scale tiles per segment.
+DEFAULT_SLAB_BYTES = 4 * 1024 * 1024
+
+#: Default total capacity before :meth:`TileArena.store` starts refusing.
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+#: Slabs that could not be fully closed because a caller still held a view.
+#: Parking them here defers their finalizer to interpreter exit (by which
+#: time the views are gone) instead of letting ``__del__`` raise mid-run.
+_pinned_slabs: list = []
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Address of one dense payload inside an arena slab.
+
+    Picklable and meaningful across processes: any process may attach
+    ``segment`` by name and view the same ``shape`` float64 array at
+    ``offset``.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, int]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (dense float64)."""
+        return self.shape[0] * self.shape[1] * 8
+
+
+class TileArena:
+    """Bump allocator of dense tile payloads over shared-memory slabs."""
+
+    def __init__(self, slab_bytes: int = DEFAULT_SLAB_BYTES,
+                 capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if slab_bytes <= 0:
+            raise ValidationError(
+                f"slab_bytes must be positive, got {slab_bytes}")
+        if capacity_bytes < slab_bytes:
+            raise ValidationError("capacity_bytes must be >= slab_bytes")
+        self.slab_bytes = slab_bytes
+        self.capacity_bytes = capacity_bytes
+        self._slabs: list[shared_memory.SharedMemory] = []
+        self._cursor = 0  # free offset in the newest slab
+        self.allocated_bytes = 0
+        #: Bytes abandoned by overwrites; reclaimed only at :meth:`close`.
+        self.garbage_bytes = 0
+        self._closed = False
+
+    # -- allocation --------------------------------------------------------------
+
+    def store(self, array: np.ndarray) -> ArenaRef | None:
+        """Copy a dense 2-D array into the arena; ``None`` if over capacity."""
+        if self._closed:
+            return None
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            return None
+        nbytes = array.nbytes
+        if nbytes == 0 or nbytes > self.slab_bytes:
+            # Oversized payloads get a dedicated segment (still capped).
+            if nbytes == 0 or self.allocated_bytes + nbytes > self.capacity_bytes:
+                return None
+            slab = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._slabs.append(slab)
+            self.allocated_bytes += nbytes
+            ref = ArenaRef(slab.name, 0, (int(array.shape[0]),
+                                          int(array.shape[1])))
+            self._write(slab, ref, array)
+            return ref
+        if not self._slabs or self._cursor + nbytes > self._slabs[-1].size:
+            if self.allocated_bytes + self.slab_bytes > self.capacity_bytes:
+                return None
+            self._slabs.append(shared_memory.SharedMemory(
+                create=True, size=self.slab_bytes))
+            self.allocated_bytes += self.slab_bytes
+            self._cursor = 0
+        slab = self._slabs[-1]
+        ref = ArenaRef(slab.name, self._cursor,
+                       (int(array.shape[0]), int(array.shape[1])))
+        self._write(slab, ref, array)
+        self._cursor += nbytes
+        return ref
+
+    @staticmethod
+    def _write(slab: shared_memory.SharedMemory, ref: ArenaRef,
+               array: np.ndarray) -> None:
+        view = np.frombuffer(slab.buf, dtype=np.float64,
+                             count=ref.shape[0] * ref.shape[1],
+                             offset=ref.offset).reshape(ref.shape)
+        view[:] = array
+
+    def release(self, ref: ArenaRef) -> None:
+        """Mark a payload as garbage (space reclaimed only at close)."""
+        self.garbage_bytes += ref.nbytes
+
+    # -- reads -------------------------------------------------------------------
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """Zero-copy read-only view of a stored payload (same process)."""
+        for slab in self._slabs:
+            if slab.name == ref.segment:
+                return _readonly_view(slab, ref)
+        raise ValidationError(f"arena ref {ref.segment!r} is not mine")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Allocation accounting, for metrics snapshots and tests."""
+        return {
+            "slabs": len(self._slabs),
+            "allocated_bytes": self.allocated_bytes,
+            "garbage_bytes": self.garbage_bytes,
+        }
+
+    def close(self) -> None:
+        """Unlink every slab.  Outstanding views keep their pages mapped
+        until the process exits; the shared-memory names are freed now."""
+        if self._closed:
+            return
+        self._closed = True
+        for slab in self._slabs:
+            try:
+                slab.close()
+            except BufferError:
+                # A live view still exports the buffer; unlink below frees
+                # the name, the kernel reclaims pages once the view dies.
+                # Keep the object alive so its __del__ (which would raise
+                # the same BufferError) runs only at interpreter exit.
+                _pinned_slabs.append(slab)
+            try:
+                slab.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._slabs = []
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ArenaReader:
+    """Attach-side view of arenas owned by *another* process.
+
+    Keeps a cache of attached segments so repeated reads of the same slab
+    map it once.  Used by kernel-pool workers to read tiles the parent
+    process placed in its arena, without any bytes crossing the pipe.
+    """
+
+    def __init__(self) -> None:
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """Zero-copy read-only view; attaches the segment on first use."""
+        slab = self._attached.get(ref.segment)
+        if slab is None:
+            slab = shared_memory.SharedMemory(name=ref.segment)
+            self._attached[ref.segment] = slab
+        return _readonly_view(slab, ref)
+
+    def close(self) -> None:
+        """Detach every cached segment (views must be dropped first)."""
+        for slab in self._attached.values():
+            try:
+                slab.close()
+            except BufferError:  # pragma: no cover - caller kept a view
+                pass
+        self._attached = {}
+
+
+def _readonly_view(slab: shared_memory.SharedMemory,
+                   ref: ArenaRef) -> np.ndarray:
+    view = np.frombuffer(slab.buf, dtype=np.float64,
+                         count=ref.shape[0] * ref.shape[1],
+                         offset=ref.offset).reshape(ref.shape)
+    view.flags.writeable = False
+    return view

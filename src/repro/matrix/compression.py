@@ -22,8 +22,10 @@ import zlib
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from repro.errors import ValidationError
+from repro.matrix.tile import Tile, TileId, maybe_sparsify
 from repro.matrix.tiled import TiledMatrix
 
 
@@ -98,6 +100,47 @@ def available_codecs() -> dict[str, Codec]:
     """All codecs by name."""
     codecs = [NoCompression(), ZlibCodec(1), ZlibCodec(6), Quantized8Codec()]
     return {codec.name: codec for codec in codecs}
+
+
+@dataclass(frozen=True)
+class EncodedTile:
+    """A tile payload at rest: codec-compressed bytes plus reassembly info.
+
+    This is what a codec-enabled :class:`repro.hdfs.tilestore.TileStore`
+    persists instead of a live :class:`~repro.matrix.tile.Tile` — the 2013
+    system stores tiles compressed on HDFS, and keeping only the blob here
+    means every read either hits the store's resident fast path or pays the
+    decode for real (measured, not assumed).
+    """
+
+    codec: str
+    blob: bytes
+    shape: tuple[int, int]
+    #: Whether the original tile was stored sparse (re-sparsified on decode).
+    sparse: bool
+
+
+def encode_tile(tile: Tile, codec: Codec) -> EncodedTile:
+    """Compress one tile's payload into its at-rest representation."""
+    dense = tile.to_dense()
+    return EncodedTile(codec.name, codec.compress(dense),
+                       (int(dense.shape[0]), int(dense.shape[1])),
+                       tile.is_sparse)
+
+
+def decode_tile(encoded: EncodedTile, codec: Codec, tile_id: TileId) -> Tile:
+    """Reassemble a tile from its at-rest representation."""
+    if codec.name != encoded.codec:
+        raise ValidationError(
+            f"tile was encoded with {encoded.codec!r}, "
+            f"decoder is {codec.name!r}")
+    dense = codec.decompress(encoded.blob, encoded.shape)
+    if encoded.sparse:
+        return Tile(tile_id, sparse.csr_matrix(dense))
+    # Lossy codecs can push a dense tile under the sparsity threshold;
+    # re-running the standard compaction keeps the representation canonical.
+    return Tile(tile_id, maybe_sparsify(dense) if not codec.lossless
+                else dense)
 
 
 @dataclass(frozen=True)

@@ -38,14 +38,20 @@ def densify(data) -> np.ndarray:
     return np.asarray(data, dtype=np.float64)
 
 
-def maybe_sparsify(array: np.ndarray):
-    """Convert a dense array to CSR if it is sparse enough to pay off."""
+def maybe_sparsify(array: np.ndarray, nnz: int | None = None):
+    """Convert a dense array to CSR if it is sparse enough to pay off.
+
+    ``nnz`` is an optional precomputed nonzero count — kernel-pool workers
+    count nonzeros while the result is still in their cache, so the parent
+    process can skip the recount without changing the sparsify decision.
+    """
     if _is_sparse(array):
         return array
     size = array.size
     if size == 0:
         return array
-    nnz = np.count_nonzero(array)
+    if nnz is None:
+        nnz = np.count_nonzero(array)
     if nnz / size < SPARSE_THRESHOLD:
         return sparse.csr_matrix(array)
     return array
@@ -110,9 +116,14 @@ class Tile:
     def to_dense(self) -> np.ndarray:
         return densify(self.data)
 
-    def compacted(self) -> "Tile":
-        """Return an equivalent tile with the cheaper storage representation."""
-        return Tile(self.tile_id, maybe_sparsify(self.to_dense()))
+    def compacted(self, nnz: int | None = None) -> "Tile":
+        """Return an equivalent tile with the cheaper storage representation.
+
+        ``nnz`` optionally carries a precomputed nonzero count (see
+        :func:`maybe_sparsify`); the choice of representation is identical
+        either way.
+        """
+        return Tile(self.tile_id, maybe_sparsify(self.to_dense(), nnz=nnz))
 
 
 # ---------------------------------------------------------------------------

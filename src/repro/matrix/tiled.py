@@ -161,7 +161,11 @@ class TiledMatrix:
     def get_tile(self, tile_row: int, tile_col: int) -> Tile:
         return self.backing.get(self.tile_id(tile_row, tile_col))
 
-    def put_tile(self, tile_row: int, tile_col: int, payload) -> Tile:
+    def put_tile(self, tile_row: int, tile_col: int, payload, *,
+                 nnz: int | None = None) -> Tile:
+        """Store one tile; ``nnz`` optionally pre-counts nonzeros (kernel
+        workers count while the result is cache-hot) without changing the
+        stored representation."""
         tile_id = self.tile_id(tile_row, tile_col)
         tile = Tile(tile_id, payload)
         expected = self.grid.tile_shape(tile_row, tile_col)
@@ -169,7 +173,7 @@ class TiledMatrix:
             raise ShapeError(
                 f"tile {tile_id.key()} has shape {tile.shape}, expected {expected}"
             )
-        self.backing.put(tile.compacted())
+        self.backing.put(tile.compacted(nnz=nnz))
         return tile
 
     def tiles(self):

@@ -1,0 +1,34 @@
+"""Shared pytest policy for the suite.
+
+Two opt-in tiers sit above the default (tier-1) run:
+
+* ``@pytest.mark.process_backend`` — tests that spawn real kernel worker
+  processes (the cross-backend differential harness, the process-backend
+  parametrizations).  They are skipped unless ``REPRO_PROCESS_TESTS=1``
+  so that ``pytest -x -q`` stays fast and single-process; CI runs them in
+  a dedicated job.
+* ``@pytest.mark.slow`` — long-running tests, skipped unless
+  ``REPRO_SLOW_TESTS=1``.
+"""
+
+import os
+
+import pytest
+
+_GATES = (
+    ("process_backend", "REPRO_PROCESS_TESTS",
+     "needs kernel worker processes; set REPRO_PROCESS_TESTS=1 to run"),
+    ("slow", "REPRO_SLOW_TESTS",
+     "long-running; set REPRO_SLOW_TESTS=1 to run"),
+)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip env-gated markers unless their variable is set to 1."""
+    for marker, variable, reason in _GATES:
+        if os.environ.get(variable) == "1":
+            continue
+        skip = pytest.mark.skip(reason=reason)
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)

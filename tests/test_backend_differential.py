@@ -1,0 +1,226 @@
+"""Cross-backend differential harness: thread vs. process execution.
+
+The process backend's contract is *indistinguishability*: offloading tile
+kernels to a worker pool may change wall-clock time and nothing else.  This
+harness runs the same workloads on both backends and asserts
+
+* **bit-identical tile outputs** — every output tile equal via
+  ``np.array_equal`` (no tolerance), with matching sparse/dense storage;
+* **identical trace-event multisets** modulo timing — same (job, task,
+  phase, attempt, status, bytes, label) tuples, ignoring start/end/slot;
+* **identical retry and fault semantics** — scripted faults fail and
+  retry the same attempts, checkpoint/crash/resume converges to the same
+  state.
+
+Everything here spawns real worker processes, so the whole module rides
+the ``process_backend`` gate (see tests/conftest.py) and runs in CI's
+dedicated differential job rather than in tier 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpointer, IterativeRunner
+from repro.core.compiler import CompilerParams
+from repro.core.executor import CumulonExecutor
+from repro.core.physical import MatMulParams
+from repro.core.program import Program
+from repro.errors import ExecutionError
+from repro.hadoop.local import RetryPolicy, ScriptedFaults
+from repro.matrix.tiled import DenseBacking
+from repro.observability import SOURCE_ACTUAL, InMemoryRecorder
+from repro.workloads.chains import build_chain_program
+from repro.workloads.gnmf import build_gnmf_program
+
+pytestmark = pytest.mark.process_backend
+
+BACKENDS = ("thread", "process")
+RNG_SEED = 1302  # any fixed seed; both backends must agree on *any* input
+
+
+def run_on(backend, program, inputs, tile_size=16, max_workers=4,
+           compiler_params=None, retry_policy=None, fault_injector=None):
+    """One instrumented run; returns (ExecutionResult, trace)."""
+    recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
+    with CumulonExecutor(tile_size=tile_size, max_workers=max_workers,
+                         compiler_params=compiler_params,
+                         recorder=recorder, backend=backend,
+                         retry_policy=retry_policy,
+                         fault_injector=fault_injector) as executor:
+        result = executor.run(program, inputs)
+    return result, recorder.trace()
+
+
+def timing_free_events(trace):
+    """The trace as a multiset with clocks and slot assignment erased.
+
+    Slot choice and start/end times are scheduling noise; everything else
+    — which tasks ran, in which phase, how many attempts, with what status
+    and declared IO — must match across backends.
+    """
+    return sorted((e.job_id, e.task_id, e.phase, e.attempt, e.status,
+                   e.bytes_read, e.bytes_written, e.label)
+                  for e in trace.task_events())
+
+
+def assert_tiles_bit_identical(left, right, context):
+    """Every tile equal bit for bit, with matching storage format."""
+    assert left.grid == right.grid, context
+    for row, col in left.grid.positions():
+        lt = left.get_tile(row, col)
+        rt = right.get_tile(row, col)
+        assert lt.is_sparse == rt.is_sparse, \
+            f"{context}: tile ({row},{col}) storage format differs"
+        ld = lt.data.toarray() if lt.is_sparse else np.asarray(lt.data)
+        rd = rt.data.toarray() if rt.is_sparse else np.asarray(rt.data)
+        assert np.array_equal(ld, rd), \
+            f"{context}: tile ({row},{col}) differs"
+
+
+def make_inputs(program, rng, positive=False):
+    raw = {name: rng.random(var.shape) for name, var in
+           program.inputs.items()}
+    if positive:
+        raw = {name: value * 0.9 + 0.1 for name, value in raw.items()}
+    return raw
+
+
+def assert_backends_agree(program, inputs, **kwargs):
+    results = {}
+    traces = {}
+    for backend in BACKENDS:
+        results[backend], traces[backend] = run_on(backend, program,
+                                                   inputs, **kwargs)
+    thread, process = (results[b] for b in BACKENDS)
+    for name in thread.outputs:
+        assert np.array_equal(thread.outputs[name],
+                              process.outputs[name]), name
+        assert_tiles_bit_identical(thread.tiled_outputs[name],
+                                   process.tiled_outputs[name],
+                                   context=f"output {name}")
+    assert timing_free_events(traces["thread"]) \
+        == timing_free_events(traces["process"])
+    return results, traces
+
+
+class TestWorkloadEquivalence:
+    def test_multiply_chain(self):
+        rng = np.random.default_rng(RNG_SEED)
+        program = build_chain_program(dimension=96, length=4)
+        assert_backends_agree(program, make_inputs(program, rng),
+                              tile_size=32)
+
+    def test_multiply_chain_with_deep_splits(self):
+        rng = np.random.default_rng(RNG_SEED + 1)
+        program = build_chain_program(dimension=64, length=3)
+        params = CompilerParams(matmul=MatMulParams(2, 2, 4))
+        assert_backends_agree(program, make_inputs(program, rng),
+                              tile_size=8, compiler_params=params)
+
+    def test_gnmf(self):
+        rng = np.random.default_rng(RNG_SEED + 2)
+        program = build_gnmf_program(rows=48, cols=40, rank=4, iterations=3)
+        assert_backends_agree(program,
+                              make_inputs(program, rng, positive=True),
+                              tile_size=16)
+
+    def test_transposes_and_elementwise(self):
+        program = Program("mixed")
+        a = program.declare_input("A", 40, 24)
+        b = program.declare_input("B", 40, 24)
+        d = program.assign("D", (a.T @ b) * 0.25 + (b.T @ a))
+        program.assign("E", (d @ d.T).apply("sqrt"))
+        program.mark_output("D", "E")
+        rng = np.random.default_rng(RNG_SEED + 3)
+        assert_backends_agree(program,
+                              make_inputs(program, rng, positive=True),
+                              tile_size=8)
+
+    def test_sparse_tiles_fall_back_identically(self):
+        # Mostly-zero inputs sparsify below the storage threshold; the
+        # process backend must agree even where it declines to offload.
+        program = Program("sparse")
+        a = program.declare_input("A", 64, 64)
+        b = program.declare_input("B", 64, 64)
+        program.assign("C", a @ b)
+        program.mark_output("C")
+        rng = np.random.default_rng(RNG_SEED + 4)
+        dense_a = rng.random((64, 64))
+        sparse_b = np.zeros((64, 64))
+        sparse_b[rng.integers(0, 64, 40), rng.integers(0, 64, 40)] = \
+            rng.random(40)
+        assert_backends_agree(program, {"A": dense_a, "B": sparse_b},
+                              tile_size=16)
+
+
+class TestFaultEquivalence:
+    def pick_task(self, program, inputs):
+        """A deterministic mult-task id from a reference thread run."""
+        __, trace = run_on("thread", program, inputs, tile_size=32)
+        task_ids = sorted({e.task_id for e in trace.task_events()
+                           if "mult" in e.task_id or "mul" in e.task_id}
+                          or {e.task_id for e in trace.task_events()})
+        return task_ids[0]
+
+    def test_scripted_fault_retries_identically(self):
+        rng = np.random.default_rng(RNG_SEED + 5)
+        program = build_chain_program(dimension=96, length=3)
+        inputs = make_inputs(program, rng)
+        victim = self.pick_task(program, inputs)
+        __, traces = assert_backends_agree(
+            program, inputs, tile_size=32,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+            fault_injector=ScriptedFaults({(victim, 0)}))
+        # The fault actually fired: attempt 0 failed, attempt 1 succeeded,
+        # on both backends.
+        for backend in BACKENDS:
+            attempts = {(e.attempt, e.status)
+                        for e in traces[backend].task_events()
+                        if e.task_id == victim}
+            assert (1, "success") in attempts
+            assert any(attempt == 0 and status != "success"
+                       for attempt, status in attempts)
+
+    def test_exhausted_retries_fail_identically(self):
+        rng = np.random.default_rng(RNG_SEED + 6)
+        program = build_chain_program(dimension=64, length=3)
+        inputs = make_inputs(program, rng)
+        victim = self.pick_task(program, inputs)
+        faults = {(victim, 0), (victim, 1)}
+        for backend in BACKENDS:
+            with pytest.raises(ExecutionError, match="injected fault"):
+                run_on(backend, program, inputs, tile_size=32,
+                       retry_policy=RetryPolicy(max_attempts=2,
+                                                backoff_seconds=0.0),
+                       fault_injector=ScriptedFaults(set(faults)))
+
+
+class TestCheckpointEquivalence:
+    @staticmethod
+    def make_runner(backend, checkpointer):
+        def factory():
+            program = Program("step")
+            x = program.declare_input("X", 32, 32)
+            program.assign("X", (x @ x) * 0.125 + x)
+            program.mark_output("X")
+            return program
+
+        return IterativeRunner(factory, static_inputs={},
+                               state_variables=["X"],
+                               tile_size=8, checkpointer=checkpointer,
+                               backend=backend)
+
+    def run_crash_resume(self, backend):
+        rng = np.random.default_rng(RNG_SEED + 7)
+        initial = {"X": rng.random((32, 32))}
+        runner = self.make_runner(backend, Checkpointer(DenseBacking()))
+        with pytest.raises(ExecutionError, match="simulated crash"):
+            runner.run(initial, iterations=4, crash_after=2)
+        return runner.resume(iterations=2)
+
+    def test_crash_resume_converges_identically(self):
+        results = {backend: self.run_crash_resume(backend)
+                   for backend in BACKENDS}
+        assert results["thread"].iteration == results["process"].iteration
+        assert np.array_equal(results["thread"].state["X"],
+                              results["process"].state["X"])

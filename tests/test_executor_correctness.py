@@ -17,6 +17,16 @@ from repro.errors import ValidationError
 
 RNG = np.random.default_rng(21)
 
+# Every correctness invariant in this module must hold on both local
+# backends; the process backend rides the tier-2 gate (tests/conftest.py).
+BACKENDS = ["thread",
+            pytest.param("process", marks=pytest.mark.process_backend)]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
 
 def make_env():
     return {
@@ -50,40 +60,44 @@ def expected_outputs(env):
     MatMulParams(3, 2, 2),
     MatMulParams(5, 5, 5),
 ])
-def test_matmul_params_do_not_change_results(matmul):
+def test_matmul_params_do_not_change_results(matmul, backend):
     env = make_env()
     program = make_program()
     params = CompilerParams(matmul=matmul)
-    result = run_program(program, env, tile_size=8, params=params)
+    result = run_program(program, env, tile_size=8, params=params,
+                         backend=backend)
     d, e = expected_outputs(env)
     np.testing.assert_allclose(result.output("D"), d, rtol=1e-9)
     np.testing.assert_allclose(result.output("E"), e, rtol=1e-9)
 
 
 @pytest.mark.parametrize("tile_size", [4, 7, 16, 64])
-def test_tile_size_does_not_change_results(tile_size):
+def test_tile_size_does_not_change_results(tile_size, backend):
     env = make_env()
-    result = run_program(make_program(), env, tile_size=tile_size)
+    result = run_program(make_program(), env, tile_size=tile_size,
+                         backend=backend)
     d, e = expected_outputs(env)
     np.testing.assert_allclose(result.output("D"), d, rtol=1e-9)
     np.testing.assert_allclose(result.output("E"), e, rtol=1e-9)
 
 
 @pytest.mark.parametrize("workers", [1, 2, 8])
-def test_worker_count_does_not_change_results(workers):
+def test_worker_count_does_not_change_results(workers, backend):
     env = make_env()
     result = run_program(make_program(), env, tile_size=8,
-                         max_workers=workers)
+                         max_workers=workers, backend=backend)
     d, __ = expected_outputs(env)
     np.testing.assert_allclose(result.output("D"), d, rtol=1e-9)
 
 
-def test_fusion_ablation_same_results():
+def test_fusion_ablation_same_results(backend):
     env = make_env()
     fused = run_program(make_program(), env, tile_size=8,
-                        params=CompilerParams(fusion_enabled=True))
+                        params=CompilerParams(fusion_enabled=True),
+                        backend=backend)
     unfused = run_program(make_program(), env, tile_size=8,
-                          params=CompilerParams(fusion_enabled=False))
+                          params=CompilerParams(fusion_enabled=False),
+                          backend=backend)
     np.testing.assert_allclose(fused.output("D"), unfused.output("D"))
     np.testing.assert_allclose(fused.output("E"), unfused.output("E"))
 
@@ -117,22 +131,22 @@ def test_outputs_default_to_last_statement():
     np.testing.assert_allclose(result.output("X"), np.eye(8))
 
 
-def test_executor_reuse_across_programs():
-    executor = CumulonExecutor(tile_size=8)
-    env = make_env()
-    first = executor.run(make_program(), env)
-    second = executor.run(make_program(), env)
+def test_executor_reuse_across_programs(backend):
+    with CumulonExecutor(tile_size=8, backend=backend) as executor:
+        env = make_env()
+        first = executor.run(make_program(), env)
+        second = executor.run(make_program(), env)
     np.testing.assert_allclose(first.output("D"), second.output("D"))
 
 
-def test_transposed_everything():
+def test_transposed_everything(backend):
     program = Program("tt")
     a = program.declare_input("A", 24, 16)
     b = program.declare_input("B", 24, 16)
     program.assign("OUT", ((a.T @ b) + (b.T @ a)).T * 2.0)
     program.mark_output("OUT")
     env = {"A": RNG.random((24, 16)), "B": RNG.random((24, 16))}
-    result = run_program(program, env, tile_size=8)
+    result = run_program(program, env, tile_size=8, backend=backend)
     expected = ((env["A"].T @ env["B"]) + (env["B"].T @ env["A"])).T * 2.0
     np.testing.assert_allclose(result.output("OUT"), expected, rtol=1e-9)
 

@@ -1,0 +1,319 @@
+"""Unit tests for kernel plans, the dispatcher registry, and the arena.
+
+Everything here is single-process (tier 1): plan semantics are locked via
+:class:`InlineDispatcher` and plain :func:`execute_plan` calls; the
+process pool itself is exercised by the differential harness.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.hadoop.kernels import (
+    BlockPlan,
+    GridMultPlan,
+    InlineDispatcher,
+    PackedPlan,
+    current_dispatcher,
+    execute_grid_mult,
+    execute_packed,
+    execute_plan,
+    expand_grid,
+    pack_plan,
+    use_dispatcher,
+)
+from repro.matrix.arena import ArenaRef, TileArena
+
+RNG = np.random.default_rng(11)
+
+
+class TestBlockPlan:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="at least one output"):
+            BlockPlan((), (), ())
+        with pytest.raises(ValidationError, match="align"):
+            BlockPlan((False,), (((0, None),),), ())
+        with pytest.raises(ValidationError, match="at least one term"):
+            BlockPlan((False,), ((),), ((2, 2),))
+        with pytest.raises(ValidationError, match="outside"):
+            BlockPlan((False,), (((0, 3),),), ((2, 2),))
+
+    def test_num_tiles_counts_terms_and_outputs(self):
+        plan = BlockPlan((False, False),
+                         (((0, 1), (1, 0)), ((0, None),)),
+                         ((2, 2), (2, 2)))
+        assert plan.num_tiles == 3 + 2
+
+    def test_matmul_matches_numpy(self):
+        a, b = RNG.random((3, 4)), RNG.random((4, 5))
+        plan = BlockPlan((False, False), (((0, 1),),), ((3, 5),))
+        [(result, nnz)] = execute_plan(plan, [a, b])
+        assert np.array_equal(result, a @ b)
+        assert nnz == np.count_nonzero(a @ b)
+
+    def test_transposed_flag_matches_dot_of_t(self):
+        a, b = RNG.random((4, 3)), RNG.random((4, 5))
+        plan = BlockPlan((True, False), (((0, 1),),), ((3, 5),))
+        [(result, __)] = execute_plan(plan, [a, b])
+        assert np.array_equal(result, a.T @ b)
+
+    def test_sum_of_products_accumulates_left_to_right(self):
+        # Bit-identity requires the exact accumulation order: (ab + cd) + e.
+        a, b = RNG.random((2, 3)), RNG.random((3, 2))
+        c, d = RNG.random((2, 3)), RNG.random((3, 2))
+        e = RNG.random((2, 2))
+        plan = BlockPlan((False,) * 5,
+                         (((0, 1), (2, 3), (4, None)),), ((2, 2),))
+        [(result, __)] = execute_plan(plan, [a, b, c, d, e])
+        assert np.array_equal(result, (a @ b + c @ d) + e)
+
+    def test_passthrough_term_copies(self):
+        a = RNG.random((3, 3))
+        plan = BlockPlan((False,), (((0, None),),), ((3, 3),))
+        [(result, __)] = execute_plan(plan, [a])
+        assert np.array_equal(result, a)
+        result[0, 0] = -1.0  # must not write through to the payload
+        assert a[0, 0] != -1.0
+
+    def test_payload_count_validated(self):
+        plan = BlockPlan((False,), (((0, None),),), ((2, 2),))
+        with pytest.raises(ValidationError, match="payloads"):
+            execute_plan(plan, [])
+
+    def test_plans_are_picklable(self):
+        plan = BlockPlan((False, True), (((0, 1),),), ((4, 4),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def reference_results(plan, payloads):
+    return execute_plan(plan, payloads)
+
+
+def assert_matches_reference(outputs, counts, reference):
+    assert len(outputs) == len(reference)
+    for index, (array, nnz) in enumerate(reference):
+        assert np.array_equal(outputs[index], array), index
+        assert int(counts[index]) == nnz, index
+
+
+class TestPackedPlan:
+    """pack_plan / execute_packed agree bit for bit with execute_plan."""
+
+    def make_matmul_plan(self, transposed=(False, False), k=3):
+        n = 4 * k + 2 * k  # 4 outputs' worth of lefts, shared rights
+        lefts = [RNG.random((5, 5)) for _ in range(n)]
+        outputs = tuple(tuple((o * k + t, 4 * k + t % (2 * k))
+                              for t in range(k)) for o in range(4))
+        flags = tuple(transposed[0] for _ in range(4 * k)) \
+            + tuple(transposed[1] for _ in range(2 * k))
+        plan = BlockPlan(flags, outputs, ((5, 5),) * 4)
+        return plan, lefts
+
+    @pytest.mark.parametrize("flags", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_matmul_matches_execute_plan(self, flags):
+        plan, payloads = self.make_matmul_plan(flags)
+        packed = pack_plan(plan, (5, 5))
+        assert isinstance(packed, PackedPlan)
+        outputs, counts = execute_packed(packed, np.stack(payloads))
+        assert_matches_reference(outputs, counts,
+                                 reference_results(plan, payloads))
+
+    def test_passthrough_matches_execute_plan(self):
+        payloads = [RNG.random((4, 6)) for _ in range(6)]
+        outputs = tuple(tuple((2 * o + t, None) for t in range(2))
+                        for o in range(3))
+        plan = BlockPlan((False,) * 6, outputs, ((4, 6),) * 3)
+        packed = pack_plan(plan, (4, 6))
+        assert packed is not None
+        result, counts = execute_packed(packed, np.stack(payloads))
+        assert_matches_reference(result, counts,
+                                 reference_results(plan, payloads))
+
+    def test_irregular_plans_refused(self):
+        # Ragged term counts.
+        ragged = BlockPlan((False,) * 4, (((0, 1),), ((2, 3), (0, 1))),
+                           ((2, 2),) * 2)
+        assert pack_plan(ragged, (2, 2)) is None
+        # Mixed matmul and pass-through terms.
+        mixed = BlockPlan((False,) * 4, (((0, 1), (2, None)),) * 2,
+                          ((2, 2),) * 2)
+        assert pack_plan(mixed, (2, 2)) is None
+        # Mixed transpose flags on one side.
+        twisted = BlockPlan((True, False, False, False),
+                            (((0, 2),), ((1, 3),)), ((2, 2),) * 2)
+        assert pack_plan(twisted, (2, 2)) is None
+        # Ragged output shapes.
+        shapes = BlockPlan((False,) * 4, (((0, 1),), ((2, 3),)),
+                           ((2, 2), (2, 3)))
+        assert pack_plan(shapes, (2, 2)) is None
+
+    def test_table_shape_validated(self):
+        plan, payloads = self.make_matmul_plan()
+        packed = pack_plan(plan, (5, 5))
+        with pytest.raises(ValidationError, match="table"):
+            execute_packed(packed, np.stack(payloads)[:2])
+
+
+class TestGridMultPlan:
+    """The structured mult plan equals its BlockPlan expansion."""
+
+    def make_blocks(self, plan):
+        a = RNG.random((plan.a_count, *plan.a_shape))
+        b = RNG.random((plan.b_count, *plan.b_shape))
+        return a, b
+
+    @pytest.mark.parametrize("flags", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_matches_expanded_block_plan(self, flags):
+        shape = (4, 4) if flags[0] == flags[1] else (4, 4)
+        plan = GridMultPlan(ni=3, nj=2, nk=4, a_shape=shape, b_shape=shape,
+                            left_transposed=flags[0],
+                            right_transposed=flags[1], out_shape=(4, 4))
+        a, b = self.make_blocks(plan)
+        outputs, counts = execute_grid_mult(plan, a, b)
+        reference = reference_results(expand_grid(plan), list(a) + list(b))
+        assert_matches_reference(outputs, counts, reference)
+
+    def test_rectangular_tiles(self):
+        plan = GridMultPlan(ni=2, nj=3, nk=2, a_shape=(5, 4),
+                            b_shape=(4, 6), left_transposed=False,
+                            right_transposed=False, out_shape=(5, 6))
+        a, b = self.make_blocks(plan)
+        outputs, counts = execute_grid_mult(plan, a, b)
+        reference = reference_results(expand_grid(plan), list(a) + list(b))
+        assert_matches_reference(outputs, counts, reference)
+
+    def test_single_k_owns_its_data(self):
+        plan = GridMultPlan(ni=1, nj=1, nk=1, a_shape=(3, 3),
+                            b_shape=(3, 3), left_transposed=False,
+                            right_transposed=False, out_shape=(3, 3))
+        a, b = self.make_blocks(plan)
+        outputs, __ = execute_grid_mult(plan, a, b)
+        assert np.array_equal(outputs[0], a[0] @ b[0])
+
+    def test_block_shapes_validated(self):
+        plan = GridMultPlan(ni=2, nj=2, nk=2, a_shape=(3, 3),
+                            b_shape=(3, 3), left_transposed=False,
+                            right_transposed=False, out_shape=(3, 3))
+        a, b = self.make_blocks(plan)
+        with pytest.raises(ValidationError, match="A block"):
+            execute_grid_mult(plan, a[:1], b)
+        with pytest.raises(ValidationError, match="B block"):
+            execute_grid_mult(plan, a, b[:1])
+
+    def test_default_dispatcher_route_uses_expansion(self):
+        plan = GridMultPlan(ni=2, nj=2, nk=3, a_shape=(4, 4),
+                            b_shape=(4, 4), left_transposed=False,
+                            right_transposed=False, out_shape=(4, 4))
+        a, b = self.make_blocks(plan)
+        results = InlineDispatcher().run_grid_mult(list(a), list(b), plan)
+        reference = reference_results(expand_grid(plan), list(a) + list(b))
+        for (array, nnz), (ref_array, ref_nnz) in zip(results, reference):
+            assert np.array_equal(array, ref_array)
+            assert nnz == ref_nnz
+
+
+class TestDispatcherRegistry:
+    def test_default_is_none(self):
+        assert current_dispatcher() is None
+
+    def test_use_installs_and_removes(self):
+        dispatcher = InlineDispatcher()
+        with use_dispatcher(dispatcher) as installed:
+            assert installed is dispatcher
+            assert current_dispatcher() is dispatcher
+        assert current_dispatcher() is None
+
+    def test_nested_installs_unwind_by_identity(self):
+        outer, inner = InlineDispatcher(), InlineDispatcher()
+        with use_dispatcher(outer):
+            with use_dispatcher(inner):
+                assert current_dispatcher() is inner
+            assert current_dispatcher() is outer
+        assert current_dispatcher() is None
+
+    def test_visible_across_threads(self):
+        # Task threads must observe the dispatcher the run loop installed.
+        seen = []
+        with use_dispatcher(InlineDispatcher()) as dispatcher:
+            thread = threading.Thread(
+                target=lambda: seen.append(current_dispatcher()))
+            thread.start()
+            thread.join()
+        assert seen == [dispatcher]
+
+    def test_inline_dispatcher_runs_plans(self):
+        a, b = RNG.random((2, 3)), RNG.random((3, 2))
+        plan = BlockPlan((False, False), (((0, 1),),), ((2, 2),))
+        [(result, __)] = InlineDispatcher().run_plan([a, b], plan)
+        assert np.array_equal(result, a @ b)
+
+
+class TestTileArena:
+    def test_store_and_view_roundtrip(self):
+        arena = TileArena()
+        try:
+            payload = RNG.random((8, 6))
+            ref = arena.store(payload)
+            view = arena.view(ref)
+            assert np.array_equal(view, payload)
+            assert not view.flags.writeable
+        finally:
+            arena.close()
+
+    def test_view_is_zero_copy(self):
+        arena = TileArena()
+        try:
+            ref = arena.store(np.ones((4, 4)))
+            assert arena.view(ref).base is not None  # a view, not a copy
+        finally:
+            arena.close()
+
+    def test_capacity_refusal_returns_none(self):
+        arena = TileArena(slab_bytes=1024, capacity_bytes=1024)
+        try:
+            assert arena.store(np.ones((8, 8))) is not None  # 512B fits
+            assert arena.store(np.ones((64, 64))) is None    # 32KB refused
+        finally:
+            arena.close()
+
+    def test_oversized_payload_gets_dedicated_segment(self):
+        arena = TileArena(slab_bytes=1024, capacity_bytes=64 * 1024)
+        try:
+            payload = RNG.random((32, 32))  # 8KB > slab
+            ref = arena.store(payload)
+            assert ref is not None
+            assert np.array_equal(arena.view(ref), payload)
+        finally:
+            arena.close()
+
+    def test_release_tracks_garbage(self):
+        arena = TileArena()
+        try:
+            ref = arena.store(np.ones((4, 4)))
+            arena.release(ref)
+            assert arena.stats()["garbage_bytes"] == ref.nbytes
+        finally:
+            arena.close()
+
+    def test_closed_arena_refuses_stores(self):
+        arena = TileArena()
+        arena.close()
+        assert arena.store(np.ones((2, 2))) is None
+
+    def test_foreign_ref_rejected(self):
+        arena = TileArena()
+        try:
+            with pytest.raises(ValidationError, match="not mine"):
+                arena.view(ArenaRef("psm_nonexistent", 0, (2, 2)))
+        finally:
+            arena.close()
+
+    def test_refs_are_picklable(self):
+        ref = ArenaRef("seg", 128, (4, 4))
+        assert pickle.loads(pickle.dumps(ref)) == ref
+        assert ref.nbytes == 128

@@ -1,0 +1,128 @@
+"""Property tests: the TileStore fast path is invisible except for speed.
+
+Two invariants, fuzzed over random tiles and every registered codec:
+
+1. **Round-trip equality** — a fast-path read (resident tile) and a codec
+   read (decode the at-rest blob) return equal tiles.  Exact equality for
+   lossless codecs; for lossy codecs the two paths must *still* agree
+   bit for bit, because the store pins the decoded tile, never the
+   original.
+2. **Accounting invariance** — ``tile_bytes``/``matrix_bytes`` and the
+   namenode's usage numbers are identical whether the fast path is on,
+   off, or backed by a shared-memory arena: the cost model must not be
+   able to observe the cache.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.tilestore import TileStore
+from repro.matrix.arena import TileArena
+from repro.matrix.compression import available_codecs
+from repro.matrix.tile import Tile, TileId
+
+CODEC_NAMES = sorted(available_codecs())
+
+
+def make_store(codec, cache=True, arena=None):
+    namenode = NameNode(replication=2)
+    for index in range(3):
+        namenode.register_datanode(DataNode(f"node-{index}", 10**9))
+    return TileStore(namenode, codec=codec, cache=cache, arena=arena)
+
+
+@st.composite
+def tiles(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    density = draw(st.sampled_from([0.0, 0.1, 0.5, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((rows, cols)) * 4.0
+    if density < 1.0:
+        dense *= rng.random((rows, cols)) < density
+    tile_id = TileId("P", draw(st.integers(0, 3)), draw(st.integers(0, 3)))
+    return Tile(tile_id, dense).compacted()
+
+
+def as_dense(tile):
+    return tile.data.toarray() if tile.is_sparse else np.asarray(tile.data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tile=tiles(), codec=st.sampled_from(CODEC_NAMES))
+def test_fastpath_read_equals_codec_read(tile, codec):
+    store = make_store(codec)
+    store.put(tile)
+    fast = store.get(tile.tile_id)
+    slow = store.read_through_codec(tile.tile_id)
+    assert fast.is_sparse == slow.is_sparse
+    assert np.array_equal(as_dense(fast), as_dense(slow))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=tiles(), codec=st.sampled_from(CODEC_NAMES))
+def test_cold_read_equals_fastpath_read(tile, codec):
+    """A cache-disabled store (always cold) agrees with a cached one."""
+    cached = make_store(codec)
+    cold = make_store(codec, cache=False)
+    cached.put(tile)
+    cold.put(tile)
+    assert np.array_equal(as_dense(cached.get(tile.tile_id)),
+                          as_dense(cold.get(tile.tile_id)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=tiles(), codec=st.sampled_from(CODEC_NAMES))
+def test_arena_view_equals_codec_read(tile, codec):
+    store = make_store(codec, arena=TileArena())
+    try:
+        store.put(tile)
+        fast = store.get(tile.tile_id)
+        slow = store.read_through_codec(tile.tile_id)
+        assert np.array_equal(as_dense(fast), as_dense(slow))
+        if not fast.is_sparse and getattr(fast, "arena_ref", None) is not None:
+            # Zero-copy reads hand out immutable views.
+            assert not fast.data.flags.writeable
+    finally:
+        store.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=tiles(), codec=st.sampled_from([None] + CODEC_NAMES))
+def test_accounting_unchanged_by_fastpath(tile, codec):
+    """Byte accounting is a function of the tile, not of the read path."""
+    variants = [make_store(codec),
+                make_store(codec, cache=False),
+                make_store(codec, arena=TileArena())]
+    try:
+        for store in variants:
+            store.put(tile)
+            store.get(tile.tile_id)
+        reference = variants[0]
+        assert reference.tile_bytes(tile.tile_id) == tile.nbytes()
+        for store in variants[1:]:
+            assert store.tile_bytes(tile.tile_id) \
+                == reference.tile_bytes(tile.tile_id)
+            assert store.matrix_bytes("P") == reference.matrix_bytes("P")
+            assert store.namenode.total_used_bytes() \
+                == reference.namenode.total_used_bytes()
+    finally:
+        variants[2].close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(tile=tiles(), codec=st.sampled_from(CODEC_NAMES))
+def test_eviction_falls_back_to_codec(tile, codec):
+    """After drop_resident, reads decode but still return equal data."""
+    store = make_store(codec)
+    store.put(tile)
+    warm = as_dense(store.get(tile.tile_id))
+    assert store.drop_resident() == 1
+    decodes_before = store.codec_decodes
+    cold = as_dense(store.get(tile.tile_id))
+    assert store.codec_decodes == decodes_before + 1
+    assert np.array_equal(warm, cold)
