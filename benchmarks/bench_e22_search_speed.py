@@ -94,7 +94,13 @@ def test_e22_search_speed(benchmark):
         headers=["deadline_min", "chosen_cluster", "identical_plan"],
         rows=rows + [["total_s", f"{slow_seconds:.2f} vs {fast_seconds:.2f}",
                       f"speedup={speedup:.1f}x hit_rate={hit_rate:.2f}"]],
-    ))
+    ), summary={
+        "sequential_seconds": round(slow_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 3),
+        "cache_hit_rate": round(hit_rate, 4),
+    }, params={"tile": TILE, "deadlines": len(DEADLINES_MIN),
+               "scenarios": SCENARIOS})
     # The fast search must change nothing but the wall clock.
     assert all(identical for __, __, identical in rows)
     assert any(label != "infeasible" for __, label, __ in rows)

@@ -83,6 +83,7 @@ def build_series():
 def test_e23_multitenant(benchmark):
     results, rows, identical, registry = benchmark.pedantic(
         build_series, rounds=1, iterations=1)
+    fifo, fair = results["fifo"], results["fair"]
     report(Table(
         experiment="E23",
         title="Fair-share vs FIFO on a shared cluster "
@@ -90,8 +91,18 @@ def test_e23_multitenant(benchmark):
         headers=["policy", "tenant", "completed", "p50_s", "p95_s",
                  "dollars"],
         rows=rows,
-    ), registry=registry)
-    fifo, fair = results["fifo"], results["fair"]
+    ), registry=registry,
+        summary={
+            "fair_light_p95_seconds":
+                round(fair.tenant("light").p95_latency_seconds, 4),
+            "fifo_light_p95_seconds":
+                round(fifo.tenant("light").p95_latency_seconds, 4),
+            "fair_fairness_index": round(fair.fairness_index, 6),
+            "fair_makespan_seconds": round(fair.makespan_seconds, 4),
+            "fair_total_dollars": round(fair.total_dollars, 6),
+        },
+        params={"tiny": TINY, "heavy_jobs": HEAVY_JOBS,
+                "light_jobs": LIGHT_JOBS, "burst": BURST})
     # Every job completes under both policies (no starvation, no rejects).
     for service_report in (fifo, fair):
         for tenant in service_report.tenants:

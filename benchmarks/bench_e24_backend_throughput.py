@@ -80,6 +80,7 @@ def build_series():
     registry = MetricsRegistry()
     rows = []
     speedups = {}
+    headline_timings = {}
     ops = tile_kernel_ops()
     flops = chain_flops()
     for split in SPLITS:
@@ -94,6 +95,8 @@ def build_series():
                 f"backends disagree on {name} at split {split}"
         speedup = timings["thread"] / timings["process"]
         speedups[split] = speedup
+        if split == SPLITS[-1]:
+            headline_timings = dict(timings)
         for backend in BACKENDS:
             seconds = timings[backend]
             rows.append([
@@ -103,12 +106,13 @@ def build_series():
                 round(ops / seconds, 1),
                 round(speedup, 2) if backend == "process" else 1.0,
             ])
-    return rows, speedups, registry
+    return rows, speedups, headline_timings, registry
 
 
 def test_e24_backend_throughput(benchmark):
-    rows, speedups, registry = benchmark.pedantic(
+    rows, speedups, headline_timings, registry = benchmark.pedantic(
         build_series, rounds=1, iterations=1)
+    headline = speedups[SPLITS[-1]]
     report(Table(
         experiment="E24",
         title=f"Thread vs process backend on a dense multiply chain "
@@ -117,8 +121,16 @@ def test_e24_backend_throughput(benchmark):
         headers=["backend", "tiles_per_task", "workers", "exec_ms",
                  "gflops", "tiles_per_sec", "speedup_vs_thread"],
         rows=rows,
-    ), registry=registry)
-    headline = speedups[SPLITS[-1]]
+    ), registry=registry,
+        summary={
+            "headline_speedup": round(headline, 3),
+            "thread_exec_seconds": round(headline_timings["thread"], 4),
+            "process_exec_seconds": round(headline_timings["process"], 4),
+            "finest_split_speedup": round(speedups[SPLITS[0]], 3),
+        },
+        params={"tiny": TINY, "dimension": DIMENSION, "tile": TILE_SIZE,
+                "chain_length": CHAIN_LENGTH, "workers": WORKERS,
+                "reps": REPS})
     assert headline > 0
     if not TINY:
         # The paper-reproduction bar: at coarse granularity the process

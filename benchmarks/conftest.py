@@ -1,0 +1,25 @@
+"""Pytest options for the benchmark suite.
+
+``pytest benchmarks/bench_exx_*.py --full`` opts into embedding the full
+``MetricsRegistry`` snapshot in ``benchmarks/results/<bench>.json`` (the
+16k-line dumps of old).  The default is the compact summary schema —
+see :func:`benchmarks.common.report`.
+"""
+
+import os
+
+from benchmarks.common import FULL_ENV
+
+
+def pytest_addoption(parser):
+    """Register ``--full`` (full metrics snapshots in results JSON)."""
+    parser.addoption(
+        "--full", action="store_true", default=False,
+        help="embed the full metrics snapshot in benchmark results JSON "
+             "(default: compact summary only)")
+
+
+def pytest_configure(config):
+    """Propagate ``--full`` to the env var benches actually read."""
+    if config.getoption("--full", default=False):
+        os.environ[FULL_ENV] = "1"

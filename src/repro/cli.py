@@ -15,6 +15,12 @@ Commands
 ``trace WORKLOAD [--format chrome|csv|summary] [--diff]``
     Emit the workload's execution trace (simulated; with ``--diff`` also a
     real local run, aligned task by task against the prediction).
+``profile WORKLOAD [--backend thread|process] [--top N]``
+    Run the workload for real (use ``--scale tiny``) and print where the
+    wall time went: top kernel plans by cumulative time, top task groups,
+    and per-lane utilization.  With ``--backend process`` the plan rows
+    come from worker-side spans and a coverage line reports how much of
+    the wall time they account for.
 ``metrics WORKLOAD [--format prom|json|csv|dashboard]``
     Simulate the workload with telemetry on and emit the collected metrics
     (Prometheus text, JSON, CSV, or an ASCII dashboard with sparklines).
@@ -316,6 +322,57 @@ def cmd_trace(args, out) -> int:
             # Keep stdout a valid chrome/csv document; the human-facing
             # diff report goes to stderr.
             print(diff_text, file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    """Run a workload for real and print the execution profile.
+
+    The profile is the rolled-up "where did the wall time go" view: top
+    kernel plans by cumulative time, top task groups, and per-lane
+    utilization.  With ``--backend process`` the kernel-plan rows come
+    from worker-side spans shipped across the process boundary, and the
+    coverage line reports how much of the execution-only wall time those
+    spans account for.
+    """
+    import numpy as np
+
+    from repro.observability.profiling import profile_trace, render_profile
+
+    program, tile = build_workload(args.workload, args.scale)
+    rng = np.random.default_rng(7)
+    inputs = {name: rng.random(var.shape) * 0.9 + 0.1
+              for name, var in program.inputs.items()}
+    recorder = InMemoryRecorder(source=SOURCE_ACTUAL)
+    registry = MetricsRegistry()
+    workers = args.workers if args.workers is not None else 2
+    with CumulonExecutor(tile_size=tile, max_workers=workers,
+                         recorder=recorder, metrics=registry,
+                         backend=getattr(args, "backend", "thread")
+                         ) as executor:
+        result = executor.run(program, inputs)
+    profile = profile_trace(recorder.trace(),
+                            wall_seconds=result.report.total_seconds,
+                            registry=registry)
+    if args.json:
+        payload = profile.to_document()
+        payload.update({"workload": args.workload, "scale": args.scale,
+                        "backend": getattr(args, "backend", "thread"),
+                        "workers": workers})
+        document = _json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        header = (f"{args.workload}/{args.scale} on backend="
+                  f"{getattr(args, 'backend', 'thread')} ({workers} workers)")
+        document = f"{header}\n{render_profile(profile, top=args.top)}"
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+        except OSError as error:
+            raise ReproError(f"cannot write {args.out}: {error}") from error
+        print(f"wrote profile to {args.out}", file=out)
+    else:
+        print(document, file=out)
     return 0
 
 
@@ -636,6 +693,16 @@ def make_parser() -> argparse.ArgumentParser:
                        help="also run the workload for real (use --scale "
                             "tiny) and report predicted-vs-actual error")
 
+    profile = subparsers.add_parser(
+        "profile", parents=[workload, workers, as_json],
+        help="run a workload for real (use --scale tiny) and print where "
+             "the wall time went")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per table (top plans / task groups)")
+    profile.add_argument("--out", default=None,
+                         help="write the profile to this file instead of "
+                              "stdout")
+
     metrics = subparsers.add_parser(
         "metrics", parents=[workload, cluster, chaos_injection, as_json],
         help="simulate with telemetry on and emit the metrics")
@@ -710,6 +777,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "optimize": cmd_optimize,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "metrics": cmd_metrics,
     "chaos": cmd_chaos,
     "submit": cmd_submit,

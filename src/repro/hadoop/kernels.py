@@ -103,6 +103,11 @@ class PackedPlan:
     out_shape: tuple[int, int]
     n_outputs: int
 
+    @property
+    def num_tiles(self) -> int:
+        """Tile-level kernel invocations this plan batches (for metrics)."""
+        return self.n_outputs * self.terms_per_output + self.n_outputs
+
 
 def pack_plan(plan: BlockPlan,
               payload_shape: tuple[int, int]) -> PackedPlan | None:
@@ -326,6 +331,26 @@ def execute_plan(plan: BlockPlan,
             accumulator = accumulator.copy()
         results.append((accumulator, int(np.count_nonzero(accumulator))))
     return results
+
+
+#: Plan kinds, as recorded in per-plan metrics and worker kernel spans.
+PLAN_BLOCK = "block"
+PLAN_PACKED = "packed"
+PLAN_GRID = "grid"
+
+
+def plan_kind(plan) -> str:
+    """The short kind name of a kernel plan (``block``/``packed``/``grid``).
+
+    This is the label worker-side kernel spans and the ``procpool.*``
+    per-plan metrics are keyed by, so profiles aggregate consistently
+    across the dispatcher and the workers.
+    """
+    if isinstance(plan, GridMultPlan):
+        return PLAN_GRID
+    if isinstance(plan, PackedPlan):
+        return PLAN_PACKED
+    return PLAN_BLOCK
 
 
 class KernelDispatcher:

@@ -248,7 +248,8 @@ class LocalExecutor:
             return None
         if self._kernel_pool is None:
             from repro.hadoop.procpool import KernelPool
-            self._kernel_pool = KernelPool(self.max_workers)
+            self._kernel_pool = KernelPool(self.max_workers,
+                                           metrics=self.metrics)
         return self._kernel_pool
 
     def close(self) -> None:
@@ -264,7 +265,8 @@ class LocalExecutor:
         if self.backend == BACKEND_PROCESS:
             from repro.hadoop import kernels
             from repro.hadoop.procpool import ProcessDispatcher
-            dispatcher = ProcessDispatcher(self.kernel_pool(), self.metrics)
+            dispatcher = ProcessDispatcher(self.kernel_pool(), self.metrics,
+                                           recorder=self.recorder)
             with kernels.use_dispatcher(dispatcher):
                 return self._run_dag(dag)
         return self._run_dag(dag)

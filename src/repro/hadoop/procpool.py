@@ -17,18 +17,36 @@ results into a response segment the parent pre-sized from the plan's
 declared output shapes.  Nonzero counts come back over the pipe so the
 parent can compact result tiles without recounting.
 
+Observability: when the parent's trace recorder or metrics registry is
+live, each request carries a ``collect`` flag and the worker times its own
+serving — one *kernel span* per plan (kind, tile count, wall time) plus an
+event per fresh shm-segment attach — into a compact per-request buffer
+shipped back with the response.  The dispatcher maps those worker-clock
+spans onto the parent recorder's clock (anchored at the dispatch send, so
+durations are worker-exact and offsets err by at most one pipe delivery)
+and records them as :data:`~repro.observability.trace.PHASE_KERNEL` events
+on a ``procworker:N`` lane per worker — real worker timelines in Chrome
+trace exports and ``repro profile``.  Pool health (dispatch-queue wait,
+request/response bytes, segment regrowth, batch sizes, respawns,
+per-plan-kind throughput) lands in the registry under ``procpool.*``.
+With recording *off* the request flag is ``False``, the worker takes no
+timestamps, and responses carry ``None`` instead of a buffer — the
+tripwire tests lock that the disabled path does no extra work.
+
 Platform notes: workers start via ``fork`` where available (Linux; ``spawn``
 elsewhere, with its per-worker interpreter startup cost), are daemonic (they
 can never outlive the executor), and a worker that dies mid-request is
 respawned on next acquire — the failed attempt surfaces as an ordinary
-:class:`~repro.errors.ExecutionError`, so the executor's retry policy
-applies unchanged.
+:class:`~repro.errors.ExecutionError` naming the worker index, pid, and the
+last plan kind it was serving, so the executor's retry policy applies
+unchanged and the failure is attributable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 import weakref
 from multiprocessing import shared_memory
 
@@ -44,11 +62,32 @@ from repro.hadoop.kernels import (
     execute_packed,
     execute_plan,
     pack_plan,
+    plan_kind,
 )
 from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.trace import (
+    NULL_RECORDER,
+    PHASE_KERNEL,
+    TraceEvent,
+    TraceRecorder,
+)
 
 #: Seconds the dispatcher waits for one plan before declaring the worker hung.
 DEFAULT_REQUEST_TIMEOUT = 300.0
+
+#: Job id stamped on worker-lane trace events (they belong to the pool, not
+#: to any one MapReduce job — task attribution lives on the task events).
+KERNEL_JOB_ID = "procpool"
+
+#: Worker-event kinds inside the shipped buffer.
+_EV_KERNEL = "kernel"
+_EV_ATTACH = "attach"
+
+#: Bucket bounds for the ``procpool.batch_tiles`` histogram (tiles, not
+#: seconds: batch sizes span one tile to whole-job blocks).
+TILE_BATCH_BUCKETS: tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+)
 
 _SENTINEL = None
 
@@ -62,7 +101,14 @@ def _preferred_start_method() -> str:
 # -- worker side ---------------------------------------------------------------
 
 def _worker_main(conn) -> None:
-    """Worker loop: map request buffers, evaluate plans, reply with nnz."""
+    """Worker loop: map request buffers, evaluate plans, reply with nnz.
+
+    Requests are ``(in_name, in_slots, out_name, plan, collect)``; replies
+    are ``(ok, counts_or_message, events)`` where ``events`` is ``None``
+    unless ``collect`` was set, in which case it is a tuple of
+    ``(kind, label, amount, start_rel, end_rel)`` records with times in
+    seconds relative to the moment the worker picked up the request.
+    """
     segments: dict[str, shared_memory.SharedMemory] = {}
     try:
         while True:
@@ -72,11 +118,21 @@ def _worker_main(conn) -> None:
                 return
             if request is _SENTINEL:
                 return
+            in_name, in_slots, out_name, plan, collect = request
+            log: list | None = [] if collect else None
+            epoch = time.perf_counter() if collect else 0.0
             try:
-                counts = _serve_request(segments, request)
-                conn.send((True, counts))
+                counts = _serve_request(segments, in_name, in_slots,
+                                        out_name, plan, log, epoch)
+                if collect:
+                    log.append((_EV_KERNEL, plan_kind(plan), plan.num_tiles,
+                                0.0, time.perf_counter() - epoch))
+                    conn.send((True, counts, tuple(log)))
+                else:
+                    conn.send((True, counts, None))
             except Exception as exc:  # surface, don't kill the worker
-                conn.send((False, f"{type(exc).__name__}: {exc}"))
+                message = f"{type(exc).__name__}: {exc}"
+                conn.send((False, message, tuple(log) if collect else None))
     finally:
         for shm in segments.values():
             try:
@@ -85,13 +141,13 @@ def _worker_main(conn) -> None:
                 pass
 
 
-def _serve_request(segments, request):
-    in_name, in_slots, out_name, plan = request
+def _serve_request(segments, in_name, in_slots, out_name, plan, log, epoch):
+    """Evaluate one plan against the named request/response segments."""
     # Segment names are stable across requests (the parent reuses its
     # per-worker buffers), so attach once and keep the mapping: the attach
     # syscalls would otherwise dominate small-tile dispatches.
-    shm_in = _attach(segments, "in", in_name)
-    shm_out = _attach(segments, "out", out_name)
+    shm_in = _attach(segments, "in", in_name, log, epoch)
+    shm_out = _attach(segments, "out", out_name, log, epoch)
     if isinstance(plan, GridMultPlan):
         return _evaluate_grid_into(shm_in, shm_out, plan)
     if isinstance(plan, PackedPlan):
@@ -99,7 +155,9 @@ def _serve_request(segments, request):
     return _evaluate_into(shm_in, shm_out, in_slots, plan)
 
 
-def _attach(segments, role: str, name: str) -> shared_memory.SharedMemory:
+def _attach(segments, role: str, name: str, log, epoch
+            ) -> shared_memory.SharedMemory:
+    """Map segment ``name`` for ``role``, reusing the cached mapping."""
     cached = segments.get(role)
     if cached is not None and cached.name == name:
         return cached
@@ -107,7 +165,11 @@ def _attach(segments, role: str, name: str) -> shared_memory.SharedMemory:
         # The parent grew this buffer under a fresh name; any views into
         # the old mapping died with earlier request frames.
         cached.close()
+    started = time.perf_counter() - epoch if log is not None else 0.0
     shm = shared_memory.SharedMemory(name=name)
+    if log is not None:
+        log.append((_EV_ATTACH, role, shm.size, started,
+                    time.perf_counter() - epoch))
     segments[role] = shm
     return shm
 
@@ -184,12 +246,20 @@ def _slot_view(buf, offset: int, shape: tuple[int, int],
 
 class _WorkerHandle:
     """One worker process plus the parent end of its pipe and the pair of
-    reusable shared-memory buffers dispatches to it go through."""
+    reusable shared-memory buffers dispatches to it go through.
 
-    def __init__(self, context):
+    ``index`` is the worker's stable pool position — the lane number in
+    worker trace timelines — and survives respawns, so a lane shows the
+    whole history of slot N even across a worker death.
+    """
+
+    def __init__(self, context, index: int):
         self._context = context
+        self.index = index
         self.conn = None
         self.process = None
+        #: Kind of the last plan dispatched to this worker (failure forensics).
+        self.last_plan_kind = ""
         #: Persistent request/response segments, grown geometrically on
         #: demand and reused across dispatches (creating + unlinking a
         #: segment per plan costs more than small-tile kernels themselves).
@@ -197,10 +267,34 @@ class _WorkerHandle:
         self.shm_out = None
         self.spawn()
 
-    def ensure_buffers(self, in_bytes: int, out_bytes: int) -> None:
-        """Make the reusable segments at least the requested sizes."""
-        self.shm_in = _grown(self.shm_in, in_bytes)
-        self.shm_out = _grown(self.shm_out, out_bytes)
+    @property
+    def pid(self) -> int | None:
+        """Pid of the current worker process (None before first spawn)."""
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def lane(self) -> str:
+        """Trace lane name for this worker's kernel spans."""
+        return f"procworker:{self.index}"
+
+    def ensure_buffers(self, in_bytes: int, out_bytes: int) -> int:
+        """Make the reusable segments at least the requested sizes.
+
+        Returns how many of the two segments had to be (re)created — the
+        dispatcher turns that into ``procpool.shm_regrowths``.
+        """
+        self.shm_in, grew_in = _grown(self.shm_in, in_bytes)
+        self.shm_out, grew_out = _grown(self.shm_out, out_bytes)
+        return int(grew_in) + int(grew_out)
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total bytes currently allocated to this worker's segments."""
+        total = 0
+        for shm in (self.shm_in, self.shm_out):
+            if shm is not None:
+                total += shm.size
+        return total
 
     def release_buffers(self) -> None:
         for attr in ("shm_in", "shm_out"):
@@ -248,9 +342,9 @@ class _WorkerHandle:
 
 
 def _grown(shm, needed: int):
-    """Return ``shm`` if it already fits, else a fresh larger segment."""
+    """Return ``(segment, grew)``: ``shm`` if it already fits, else fresh."""
     if shm is not None and shm.size >= needed:
-        return shm
+        return shm, False
     if shm is not None:
         try:
             shm.close()
@@ -260,7 +354,7 @@ def _grown(shm, needed: int):
     # Grow in 1.5x steps so a slowly-rising high-water mark does not
     # recreate (and force the worker to re-attach) a segment per dispatch.
     size = max(4096, needed, 0 if shm is None else int(shm.size * 1.5))
-    return shared_memory.SharedMemory(create=True, size=size)
+    return shared_memory.SharedMemory(create=True, size=size), True
 
 
 class KernelPool:
@@ -268,11 +362,15 @@ class KernelPool:
 
     Workers are started eagerly so the first dispatched task does not pay
     the startup cost, handed out one-per-caller like the executor's slot
-    pool, and respawned transparently if one dies.
+    pool, and respawned transparently if one dies.  With a live ``metrics``
+    registry the pool reports dispatch-queue wait
+    (``procpool.acquire_wait_seconds``) and worker respawns
+    (``procpool.respawns``).
     """
 
     def __init__(self, workers: int, start_method: str | None = None,
-                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT):
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 metrics: MetricsRegistry = NULL_METRICS):
         if workers <= 0:
             raise ValidationError(
                 f"kernel pool needs >= 1 worker, got {workers}")
@@ -280,6 +378,7 @@ class KernelPool:
             raise ValidationError("request_timeout must be positive")
         self.workers = workers
         self.request_timeout = request_timeout
+        self.metrics = metrics
         self._context = multiprocessing.get_context(
             start_method or _preferred_start_method())
         # Start the shm resource tracker *before* forking workers: children
@@ -289,8 +388,8 @@ class KernelPool:
         # that warns about "leaked" segments the parent already unlinked.
         from multiprocessing import resource_tracker
         resource_tracker.ensure_running()
-        self._handles = [_WorkerHandle(self._context)
-                         for _ in range(workers)]
+        self._handles = [_WorkerHandle(self._context, index)
+                         for index in range(workers)]
         self._free = list(self._handles)
         self._condition = threading.Condition()
         self._closed = False
@@ -303,15 +402,29 @@ class KernelPool:
         return self._context.get_start_method()
 
     def acquire(self) -> _WorkerHandle:
-        """Borrow a live worker (blocks if all are busy)."""
+        """Borrow a live worker (blocks if all are busy).
+
+        Respawning a dead worker here is what makes worker death retryable:
+        the attempt that hit the dead worker failed with an ordinary
+        :class:`~repro.errors.ExecutionError`, and by the time the retry
+        acquires a worker the pool is whole again (counted in
+        ``procpool.respawns``).
+        """
+        metrics = self.metrics
+        started = metrics.now() if metrics.enabled else 0.0
         with self._condition:
             while not self._free:
                 if self._closed:
                     raise ExecutionError("kernel pool is closed")
                 self._condition.wait()
             handle = self._free.pop()
+        if metrics.enabled:
+            metrics.observe("procpool.acquire_wait_seconds",
+                            metrics.now() - started)
         if not handle.alive:
             handle.spawn()
+            if metrics.enabled:
+                metrics.inc("procpool.respawns")
         return handle
 
     def release(self, handle: _WorkerHandle) -> None:
@@ -337,14 +450,23 @@ class KernelPool:
 
 
 class ProcessDispatcher(KernelDispatcher):
-    """Ships kernel plans to a :class:`KernelPool` over shared memory."""
+    """Ships kernel plans to a :class:`KernelPool` over shared memory.
+
+    With a live recorder, worker-side kernel spans shipped back with each
+    response are merged into the parent trace as per-worker lanes; with a
+    live metrics registry, pool health lands under ``procpool.*``.  Both
+    default off, and when off the dispatch path carries no telemetry
+    payload at all.
+    """
 
     name = "process"
 
     def __init__(self, pool: KernelPool,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 recorder: TraceRecorder = NULL_RECORDER):
         self.pool = pool
         self.metrics = metrics
+        self.recorder = recorder
 
     def run_plan(self, payloads, plan: BlockPlan):
         """Pack payloads, round-trip one plan through a worker, unpack."""
@@ -359,13 +481,15 @@ class ProcessDispatcher(KernelDispatcher):
         else:
             results, in_bytes, out_bytes = self._run_general(payloads, plan)
         if metrics.enabled:
+            shipped = packed if packed is not None else plan
             metrics.inc("local.kernel_dispatches")
             metrics.inc("local.kernel_dispatch_tiles", plan.num_tiles)
             metrics.inc("local.kernel_dispatch_bytes", in_bytes + out_bytes)
             if packed is not None:
                 metrics.inc("local.kernel_dispatch_packed")
-            metrics.observe("local.kernel_dispatch_seconds",
-                            metrics.now() - started)
+            elapsed = metrics.now() - started
+            metrics.observe("local.kernel_dispatch_seconds", elapsed)
+            self._record_dispatch(shipped, elapsed, in_bytes, out_bytes)
         return results
 
     def run_grid_mult(self, a_payloads, b_payloads, plan: GridMultPlan):
@@ -379,13 +503,12 @@ class ProcessDispatcher(KernelDispatcher):
         out_bytes = plan.n_outputs * out_rows * out_cols * 8
         handle = self.pool.acquire()
         try:
-            handle.ensure_buffers(a_bytes + b_bytes, out_bytes)
+            self._ensure_buffers(handle, a_bytes + b_bytes, out_bytes)
             self._pack_block(handle.shm_in, 0, plan.a_shape, a_payloads)
             self._pack_block(handle.shm_in, a_bytes, plan.b_shape,
                              b_payloads)
-            counts = self._round_trip(
-                handle, (handle.shm_in.name, None,
-                         handle.shm_out.name, plan))
+            counts = self._round_trip(handle, None, plan,
+                                      a_bytes + b_bytes, out_bytes)
             block = np.frombuffer(
                 handle.shm_out.buf, dtype=np.float64,
                 count=plan.n_outputs * out_rows * out_cols).reshape(
@@ -398,8 +521,9 @@ class ProcessDispatcher(KernelDispatcher):
             metrics.inc("local.kernel_dispatch_bytes",
                         a_bytes + b_bytes + out_bytes)
             metrics.inc("local.kernel_dispatch_grid")
-            metrics.observe("local.kernel_dispatch_seconds",
-                            metrics.now() - started)
+            elapsed = metrics.now() - started
+            metrics.observe("local.kernel_dispatch_seconds", elapsed)
+            self._record_dispatch(plan, elapsed, a_bytes + b_bytes, out_bytes)
         return [(block[index], int(count))
                 for index, count in enumerate(counts)]
 
@@ -422,7 +546,7 @@ class ProcessDispatcher(KernelDispatcher):
         out_bytes = packed.n_outputs * out_rows * out_cols * 8
         handle = self.pool.acquire()
         try:
-            handle.ensure_buffers(in_bytes, out_bytes)
+            self._ensure_buffers(handle, in_bytes, out_bytes)
             table = np.frombuffer(
                 handle.shm_in.buf, dtype=np.float64,
                 count=packed.n_payloads * rows * cols).reshape(
@@ -430,9 +554,8 @@ class ProcessDispatcher(KernelDispatcher):
             for index, payload in enumerate(payloads):
                 table[index] = payload
             del table  # release the buffer export before any buffer growth
-            counts = self._round_trip(
-                handle, (handle.shm_in.name, None,
-                         handle.shm_out.name, packed))
+            counts = self._round_trip(handle, None, packed,
+                                      in_bytes, out_bytes)
             # One block copy out of the response buffer; result tiles are
             # views of it, and every slice is used, so nothing is wasted.
             block = np.frombuffer(
@@ -452,11 +575,10 @@ class ProcessDispatcher(KernelDispatcher):
         out_slots, out_bytes = _layout(plan.out_shapes)
         handle = self.pool.acquire()
         try:
-            handle.ensure_buffers(in_bytes, out_bytes)
+            self._ensure_buffers(handle, in_bytes, out_bytes)
             self._pack(handle.shm_in, in_slots, payloads)
-            counts = self._round_trip(
-                handle, (handle.shm_in.name, in_slots,
-                         handle.shm_out.name, plan))
+            counts = self._round_trip(handle, in_slots, plan,
+                                      in_bytes, out_bytes)
             results = self._unpack(handle.shm_out, out_slots, counts)
         finally:
             self.pool.release(handle)
@@ -467,22 +589,110 @@ class ProcessDispatcher(KernelDispatcher):
         for payload, (offset, shape) in zip(payloads, in_slots):
             _slot_view(shm_in.buf, offset, shape, writable=True)[:] = payload
 
-    def _round_trip(self, handle, request) -> tuple[int, ...]:
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def _collect(self) -> bool:
+        """Whether dispatches should carry worker-side telemetry back."""
+        return self.recorder.enabled or self.metrics.enabled
+
+    def _ensure_buffers(self, handle, in_bytes: int, out_bytes: int) -> None:
+        """Size the handle's segments, accounting regrowth when observed."""
+        grown = handle.ensure_buffers(in_bytes, out_bytes)
+        if grown and self.metrics.enabled:
+            self.metrics.inc("procpool.shm_regrowths", grown)
+            self.metrics.set_gauge("procpool.shm_bytes",
+                                   handle.buffer_bytes,
+                                   labels={"worker": str(handle.index)})
+        if grown and self.recorder.enabled:
+            now = self.recorder.now()
+            self.recorder.record(TraceEvent(
+                job_id=KERNEL_JOB_ID, task_id="shm-grow",
+                phase=PHASE_KERNEL, slot=handle.lane,
+                start=now, end=now,
+                bytes_written=handle.buffer_bytes, label="shm-grow"))
+
+    def _record_dispatch(self, plan, elapsed: float, in_bytes: int,
+                         out_bytes: int) -> None:
+        """Per-plan-kind pool throughput metrics (``procpool.*``)."""
+        metrics = self.metrics
+        kind = plan_kind(plan)
+        labels = {"plan": kind}
+        metrics.inc("procpool.dispatches", labels=labels)
+        metrics.inc("procpool.plan_tiles", plan.num_tiles, labels=labels)
+        metrics.inc("procpool.request_bytes", in_bytes)
+        metrics.inc("procpool.response_bytes", out_bytes)
+        metrics.observe("procpool.dispatch_seconds", elapsed, labels=labels)
+        metrics.histogram("procpool.batch_tiles",
+                          buckets=TILE_BATCH_BUCKETS).observe(plan.num_tiles)
+
+    def _ingest_events(self, handle, events, base: float, in_bytes: int,
+                       out_bytes: int) -> None:
+        """Merge one response's worker-side events into parent telemetry.
+
+        ``base`` is the parent recorder's clock at request send; worker
+        event times are relative to the worker picking the request up, so
+        ``base + rel`` places each span on the parent timeline with
+        worker-exact durations (the anchor can only be early, by at most
+        the pipe delivery latency).
+        """
+        recorder = self.recorder
+        metrics = self.metrics
+        for kind, label, amount, start_rel, end_rel in events:
+            if metrics.enabled:
+                if kind == _EV_KERNEL:
+                    metrics.observe("procpool.serve_seconds",
+                                    end_rel - start_rel,
+                                    labels={"plan": label})
+                else:
+                    metrics.inc("procpool.shm_attaches")
+            if not recorder.enabled:
+                continue
+            if kind == _EV_KERNEL:
+                recorder.record(TraceEvent(
+                    job_id=KERNEL_JOB_ID, task_id=f"plan:{label}",
+                    phase=PHASE_KERNEL, slot=handle.lane,
+                    start=base + start_rel, end=base + end_rel,
+                    bytes_read=in_bytes, bytes_written=out_bytes,
+                    label=label))
+            else:
+                recorder.record(TraceEvent(
+                    job_id=KERNEL_JOB_ID, task_id=f"shm-attach:{label}",
+                    phase=PHASE_KERNEL, slot=handle.lane,
+                    start=base + start_rel, end=base + end_rel,
+                    bytes_read=amount, label="shm-attach"))
+
+    def _round_trip(self, handle, in_slots, plan, in_bytes: int,
+                    out_bytes: int) -> tuple[int, ...]:
+        """Send one plan to ``handle``'s worker and return its nnz counts."""
+        collect = self._collect
+        handle.last_plan_kind = plan_kind(plan)
+        request = (handle.shm_in.name, in_slots, handle.shm_out.name, plan,
+                   collect)
+        base = self.recorder.now() if self.recorder.enabled else 0.0
         try:
             handle.conn.send(request)
             if not handle.conn.poll(self.pool.request_timeout):
                 handle.process.terminate()  # likely wedged — replace it
                 raise ExecutionError(
-                    f"kernel worker timed out after "
-                    f"{self.pool.request_timeout}s")
-            ok, body = handle.conn.recv()
+                    f"kernel worker {handle.index} (pid {handle.pid}) "
+                    f"timed out after {self.pool.request_timeout}s "
+                    f"on a {handle.last_plan_kind} plan")
+            ok, body, events = handle.conn.recv()
         except ExecutionError:
             raise
         except (EOFError, BrokenPipeError, OSError) as exc:
+            if self.metrics.enabled:
+                self.metrics.inc("procpool.worker_deaths")
             raise ExecutionError(
-                f"kernel worker died mid-plan: {exc}") from exc
+                f"kernel worker {handle.index} (pid {handle.pid}) died "
+                f"mid-plan (last plan kind: {handle.last_plan_kind}): {exc}"
+            ) from exc
+        if events:
+            self._ingest_events(handle, events, base, in_bytes, out_bytes)
         if not ok:
-            raise ExecutionError(f"kernel plan failed in worker: {body}")
+            raise ExecutionError(
+                f"kernel plan failed in worker {handle.index}: {body}")
         return body
 
     @staticmethod

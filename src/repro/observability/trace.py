@@ -40,6 +40,11 @@ PHASE_SPAN = "span"
 PHASE_NODE = "node"
 PHASE_REREPLICATION = "rereplication"
 PHASE_REEXEC = "reexec"
+#: A kernel-plan evaluation inside a process-backend worker (one event per
+#: dispatched plan, on a ``procworker:N`` lane).  Not a task phase: kernel
+#: events describe *where task work physically ran*, so they never enter
+#: the task-level structural queries the differential tests compare.
+PHASE_KERNEL = "kernel"
 
 #: Phases that represent schedulable task work (one slot, one attempt).
 TASK_PHASES = frozenset({PHASE_MAP, PHASE_REDUCE})
@@ -130,6 +135,10 @@ class Trace:
     def span_events(self) -> list[TraceEvent]:
         """Profiling spans (compiler/optimizer/executor stages)."""
         return [event for event in self.events if event.phase == PHASE_SPAN]
+
+    def kernel_events(self) -> list[TraceEvent]:
+        """Worker-side kernel-plan events (process backend lanes)."""
+        return [event for event in self.events if event.phase == PHASE_KERNEL]
 
     def task_ids(self) -> set[str]:
         """Ids of tasks that completed successfully."""

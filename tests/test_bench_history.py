@@ -1,0 +1,256 @@
+"""Tier-1 gate for the bench-history scoreboard (``tools/benchdiff.py``).
+
+Proves the acceptance criterion end to end on throwaway directories:
+running benchdiff twice over identical results exits 0 both times, an
+injected 2x slowdown flips the exit code to 1, params mismatches are
+skipped rather than failed, and ``--update-baselines`` moves only the
+metric values.  Also locks the ``benchmarks.common.append_history``
+writer's schema so the committed history files stay machine-readable.
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import benchdiff  # noqa: E402
+
+from benchmarks.common import SCHEMA_VERSION, append_history  # noqa: E402
+
+
+BASELINE = {
+    "bench": "toy",
+    "params": {"tiny": True, "tile": 16},
+    "metrics": {"exec_seconds": 0.10, "speedup": 2.0},
+    "thresholds": {
+        "exec_seconds": {"direction": "lower", "max_ratio": 1.5},
+        "speedup": {"direction": "higher", "max_ratio": 1.5},
+    },
+}
+
+
+def write_baseline(baselines_dir, document=None):
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    path = baselines_dir / "toy.json"
+    path.write_text(json.dumps(document or BASELINE, indent=2) + "\n")
+    return path
+
+
+def write_history(history_dir, entries):
+    history_dir.mkdir(parents=True, exist_ok=True)
+    path = history_dir / "toy.jsonl"
+    with path.open("w") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry) + "\n")
+    return path
+
+
+def entry(metrics, params=None, sha="abc1234"):
+    return {
+        "schema_version": 1,
+        "bench": "toy",
+        "params": params if params is not None else dict(BASELINE["params"]),
+        "metrics": metrics,
+        "git_sha": sha,
+        "timestamp": "2026-08-08T00:00:00Z",
+    }
+
+
+def run_benchdiff(tmp_path, argv=()):
+    out = io.StringIO()
+    code = benchdiff.main(
+        ["--history-dir", str(tmp_path / "history"),
+         "--baselines-dir", str(tmp_path / "baselines"), *argv],
+        out=out)
+    return code, out.getvalue()
+
+
+class TestGate:
+    def test_identical_results_pass_twice(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history",
+                      [entry(dict(BASELINE["metrics"]))])
+        for __ in range(2):
+            code, text = run_benchdiff(tmp_path)
+            assert code == 0
+            assert "no regressions" in text
+            assert "[ok]" in text
+
+    def test_injected_2x_slowdown_fails(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history",
+                      [entry({"exec_seconds": 0.20, "speedup": 2.0})])
+        code, text = run_benchdiff(tmp_path)
+        assert code == 1
+        assert "REGRESSED" in text
+        assert "REGRESSION in: toy" in text
+
+    def test_2x_speedup_collapse_fails(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history",
+                      [entry({"exec_seconds": 0.10, "speedup": 1.0})])
+        code, __ = run_benchdiff(tmp_path)
+        assert code == 1
+
+    def test_params_mismatch_is_skipped_not_failed(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(
+            tmp_path / "history",
+            [entry({"exec_seconds": 9.0, "speedup": 0.1},
+                   params={"tiny": False, "tile": 1024})])
+        code, text = run_benchdiff(tmp_path)
+        assert code == 0
+        assert "skipped" in text
+
+    def test_latest_matching_entry_wins(self, tmp_path):
+        # A newer full-size run must not shadow the latest tiny run.
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history", [
+            entry(dict(BASELINE["metrics"]), sha="old0000"),
+            entry({"exec_seconds": 9.0, "speedup": 9.0},
+                  params={"tiny": False, "tile": 1024}, sha="full000"),
+        ])
+        code, text = run_benchdiff(tmp_path)
+        assert code == 0
+        assert "old0000" in text
+
+    def test_missing_history_is_a_note_not_a_failure(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        code, text = run_benchdiff(tmp_path)
+        assert code == 0
+        assert "no history" in text
+
+    def test_missing_metric_in_latest_run_fails(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history",
+                      [entry({"exec_seconds": 0.10})])  # speedup dropped
+        code, text = run_benchdiff(tmp_path)
+        assert code == 1
+        assert "missing from latest run" in text
+
+    def test_bad_baseline_schema_is_a_usage_error(self, tmp_path):
+        write_baseline(tmp_path / "baselines", {"metrics": {}})  # no bench
+        write_history(tmp_path / "history", [entry({})])
+        code, __ = run_benchdiff(tmp_path)
+        assert code == 2
+
+
+class TestUpdateBaselines:
+    def test_moves_metric_values_only(self, tmp_path):
+        path = write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history",
+                      [entry({"exec_seconds": 0.08, "speedup": 2.5},
+                             sha="fresh00")])
+        code, text = run_benchdiff(tmp_path, ["--update-baselines"])
+        assert code == 0
+        assert "baseline updated" in text
+        updated = json.loads(path.read_text())
+        assert updated["metrics"] == {"exec_seconds": 0.08, "speedup": 2.5}
+        assert updated["thresholds"] == BASELINE["thresholds"]
+        assert updated["params"] == BASELINE["params"]
+        assert updated["git_sha"] == "fresh00"
+        # And the refreshed baseline passes against the same history.
+        code, __ = run_benchdiff(tmp_path)
+        assert code == 0
+
+
+class TestTrajectory:
+    def test_sparkline_shape(self):
+        entries = [entry({"exec_seconds": 0.1 + 0.01 * i})
+                   for i in range(20)]
+        spark = trajectory = benchdiff.trajectory(entries, "exec_seconds")
+        assert len(spark) == benchdiff.TRAJECTORY_POINTS
+        assert spark[0] == benchdiff._SPARK_LEVELS[0]
+        assert spark[-1] == benchdiff._SPARK_LEVELS[-1]
+        assert trajectory == spark
+
+    def test_flat_and_short_series(self):
+        flat = [entry({"m": 1.0}), entry({"m": 1.0})]
+        assert set(benchdiff.trajectory(flat, "m")) == \
+            {benchdiff._SPARK_LEVELS[5]}
+        assert benchdiff.trajectory([entry({"m": 1.0})], "m") == ""
+
+
+class TestCompareMetric:
+    def test_ratio_semantics(self):
+        threshold = {"direction": "lower", "max_ratio": 2.0}
+        regressed, __ = benchdiff.compare_metric("m", 0.19, 0.1, threshold)
+        assert not regressed
+        regressed, __ = benchdiff.compare_metric("m", 0.21, 0.1, threshold)
+        assert regressed
+        threshold = {"direction": "higher", "max_ratio": 2.0}
+        regressed, __ = benchdiff.compare_metric("m", 0.06, 0.1, threshold)
+        assert not regressed
+        regressed, __ = benchdiff.compare_metric("m", 0.04, 0.1, threshold)
+        assert regressed
+
+    def test_invalid_thresholds_raise(self):
+        with pytest.raises(benchdiff.BenchdiffError):
+            benchdiff.compare_metric("m", 1.0, 1.0,
+                                     {"direction": "sideways"})
+        with pytest.raises(benchdiff.BenchdiffError):
+            benchdiff.compare_metric("m", 1.0, 1.0, {"max_ratio": 1.0})
+
+
+class TestHistoryWriter:
+    def test_append_history_schema(self, tmp_path):
+        append_history("toy", {"speedup": 2.0}, params={"tiny": True},
+                       experiment="E99", history_dir=tmp_path)
+        append_history("toy", {"speedup": 2.1}, params={"tiny": True},
+                       experiment="E99", history_dir=tmp_path)
+        lines = (tmp_path / "toy.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["schema_version"] == SCHEMA_VERSION
+        assert first["bench"] == "toy"
+        assert first["experiment"] == "E99"
+        assert first["metrics"] == {"speedup": 2.0}
+        assert first["params"] == {"tiny": True}
+        assert "git_sha" in first and "timestamp" in first
+        # Keys are sorted so committed history lines diff cleanly.
+        assert lines[0].index('"bench"') < lines[0].index('"metrics"')
+
+    def test_written_history_feeds_benchdiff(self, tmp_path):
+        history_dir = tmp_path / "history"
+        append_history("toy", dict(BASELINE["metrics"]),
+                       params=dict(BASELINE["params"]),
+                       history_dir=history_dir)
+        write_baseline(tmp_path / "baselines")
+        code, text = run_benchdiff(tmp_path)
+        assert code == 0
+        assert "no regressions" in text
+
+
+class TestCommittedBaselines:
+    """The real committed baselines stay well-formed and self-consistent."""
+
+    def test_every_baseline_parses_and_gates(self):
+        benches = benchdiff.known_benches()
+        assert set(benches) >= {"e22", "e23", "e24"}
+        for bench in benches:
+            document = benchdiff.read_baseline(bench)
+            assert document["bench"] == bench
+            for name, threshold in document.get("thresholds", {}).items():
+                assert name in document["metrics"], (
+                    f"{bench}: threshold for unknown metric {name}")
+                benchdiff.compare_metric(
+                    name, float(document["metrics"][name]),
+                    float(document["metrics"][name]), threshold)
+
+    def test_committed_history_matches_schema(self):
+        for bench in benchdiff.known_benches():
+            for item in benchdiff.read_history(bench):
+                assert item["schema_version"] == SCHEMA_VERSION
+                assert item["bench"] == bench
+                assert isinstance(item["metrics"], dict)
+
+    def test_repo_gate_is_green(self):
+        # The acceptance run: the committed history vs the committed
+        # baselines must pass, otherwise CI would be red at HEAD.
+        out = io.StringIO()
+        assert benchdiff.main([], out=out) == 0, out.getvalue()

@@ -113,6 +113,50 @@ class TestTrace:
             target.read_text(encoding="utf-8")) > 0
 
 
+class TestProfile:
+    def test_text_profile_reports_lanes_and_tasks(self):
+        code, text = run_cli("profile", "multiply", "--scale", "tiny",
+                             "--workers", "2")
+        assert code == 0
+        assert "backend=thread" in text
+        assert "wall time (execution only):" in text
+        assert "per-lane utilization" in text
+        assert "top task groups by cumulative time" in text
+        # Thread backend: no process-pool kernel spans in the profile.
+        assert "procworker:" not in text
+
+    def test_json_profile_document(self):
+        code, text = run_cli("profile", "gnmf", "--scale", "tiny",
+                             "--workers", "2", "--json")
+        assert code == 0
+        document = json.loads(text)
+        assert document["workload"] == "gnmf"
+        assert document["backend"] == "thread"
+        assert document["workers"] == 2
+        assert document["wall_seconds"] > 0
+        assert document["tasks"], "expected grouped task rows"
+        assert document["lanes"], "expected per-lane utilization rows"
+        for lane in document["lanes"]:
+            assert lane["busy_seconds"] >= 0
+
+    def test_top_limits_rows(self):
+        code, text = run_cli("profile", "gnmf", "--scale", "tiny",
+                             "--top", "1")
+        assert code == 0
+        section = text.split("top task groups by cumulative time:")[1]
+        rows = [line for line in section.splitlines()
+                if line.startswith("  j")]
+        assert len(rows) == 1
+
+    def test_out_writes_file(self, tmp_path):
+        target = tmp_path / "profile.json"
+        code, text = run_cli("profile", "multiply", "--scale", "tiny",
+                             "--json", "--out", str(target))
+        assert code == 0
+        assert "wrote profile to" in text
+        assert json.loads(target.read_text(encoding="utf-8"))["lanes"]
+
+
 class TestVersion:
     def test_version_flag_prints_package_version(self, capsys):
         import repro

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""benchdiff: gate benchmark history against committed baselines.
+
+The bench suite appends one compact line per run to
+``benchmarks/history/<bench>.jsonl`` (see :func:`benchmarks.common.report`).
+This tool compares the **latest** history entry of each bench against its
+committed baseline in ``benchmarks/baselines/<bench>.json`` and fails when
+a thresholded metric regresses — the continuous perf scoreboard CI runs on
+every PR.
+
+Baseline schema (one JSON file per bench)::
+
+    {
+      "bench": "e24",
+      "params": {"tiny": true, "dimension": 96},
+      "metrics": {"headline_speedup": 2.8, "process_exec_seconds": 0.04},
+      "thresholds": {
+        "process_exec_seconds": {"direction": "lower", "max_ratio": 3.0},
+        "headline_speedup": {"direction": "higher", "max_ratio": 2.0}
+      }
+    }
+
+``direction: lower`` means smaller is better; the gate fails when
+``latest > baseline * max_ratio``.  ``direction: higher`` means bigger is
+better; the gate fails when ``latest < baseline / max_ratio``.  Metrics
+without a threshold entry are reported but never gate.  History entries
+whose ``params`` do not exactly match the baseline's are skipped (a local
+full-size run must not be judged against the CI tiny baseline).
+
+Exit codes: 0 = no regression (including "nothing comparable"), 1 =
+threshold regression, 2 = usage/configuration error (unreadable files,
+bad schema).
+
+Usage::
+
+    python tools/benchdiff.py                   # compare all baselines
+    python tools/benchdiff.py e24 e22           # just these benches
+    python tools/benchdiff.py --update-baselines  # rewrite baselines from
+                                                  # the latest history
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HISTORY_DIR = os.path.join(REPO_ROOT, "benchmarks", "history")
+BASELINES_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+DIRECTION_LOWER = "lower"
+DIRECTION_HIGHER = "higher"
+
+#: Width of the ASCII trajectory sparkline.
+TRAJECTORY_POINTS = 12
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+class BenchdiffError(Exception):
+    """Configuration/schema problem (exit code 2)."""
+
+
+def read_history(bench: str, history_dir: str = HISTORY_DIR) -> list[dict]:
+    """All history entries for ``bench``, oldest first."""
+    path = os.path.join(history_dir, f"{bench}.jsonl")
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise BenchdiffError(
+                    f"{path}:{line_no}: invalid JSON: {error}") from error
+    return entries
+
+
+def read_baseline(bench: str, baselines_dir: str = BASELINES_DIR) -> dict:
+    """The committed baseline document for ``bench``."""
+    path = os.path.join(baselines_dir, f"{bench}.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise BenchdiffError(f"cannot read baseline {path}: {error}") \
+            from error
+    except json.JSONDecodeError as error:
+        raise BenchdiffError(f"{path}: invalid JSON: {error}") from error
+    for key in ("bench", "metrics"):
+        if key not in document:
+            raise BenchdiffError(f"{path}: missing required key {key!r}")
+    return document
+
+
+def params_match(entry: dict, baseline: dict) -> bool:
+    """Whether a history entry ran with the baseline's exact parameters."""
+    return (entry.get("params") or {}) == (baseline.get("params") or {})
+
+
+def latest_comparable(entries: list[dict], baseline: dict) -> dict | None:
+    """The newest history entry whose params match the baseline's."""
+    for entry in reversed(entries):
+        if params_match(entry, baseline):
+            return entry
+    return None
+
+
+def compare_metric(name: str, latest: float, base: float,
+                   threshold: dict) -> tuple[bool, str]:
+    """One metric's verdict: ``(regressed, human-readable line)``."""
+    direction = threshold.get("direction", DIRECTION_LOWER)
+    max_ratio = float(threshold.get("max_ratio", 1.5))
+    if direction not in (DIRECTION_LOWER, DIRECTION_HIGHER):
+        raise BenchdiffError(
+            f"metric {name!r}: unknown direction {direction!r}")
+    if max_ratio <= 1.0:
+        raise BenchdiffError(
+            f"metric {name!r}: max_ratio must be > 1.0, got {max_ratio}")
+    if base == 0:
+        # Can't form a ratio; only gate on sign-flips of "higher" metrics.
+        regressed = direction == DIRECTION_HIGHER and latest < 0
+        ratio = float("inf") if latest else 1.0
+    elif direction == DIRECTION_LOWER:
+        ratio = latest / base
+        regressed = ratio > max_ratio
+    else:
+        ratio = base / latest if latest else float("inf")
+        regressed = ratio > max_ratio
+    verdict = "REGRESSED" if regressed else "ok"
+    arrow = "<=" if direction == DIRECTION_LOWER else ">="
+    return regressed, (
+        f"    {name}: {latest:g} vs baseline {base:g} "
+        f"(x{ratio:.2f}, must stay {arrow} x{max_ratio:g} "
+        f"{'worse' if direction == DIRECTION_LOWER else 'of baseline'}) "
+        f"[{verdict}]")
+
+
+def trajectory(entries: list[dict], metric: str,
+               points: int = TRAJECTORY_POINTS) -> str:
+    """An ASCII sparkline of ``metric`` over the last ``points`` runs."""
+    values = [entry["metrics"][metric] for entry in entries
+              if isinstance(entry.get("metrics", {}).get(metric),
+                            (int, float))]
+    values = values[-points:]
+    if len(values) < 2:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_LEVELS[5] * len(values)
+    scale = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((value - low) / (high - low) * scale)]
+        for value in values)
+
+
+def diff_bench(bench: str, history_dir: str = HISTORY_DIR,
+               baselines_dir: str = BASELINES_DIR,
+               out=sys.stdout) -> bool:
+    """Diff one bench; prints the report, returns True if it regressed."""
+    baseline = read_baseline(bench, baselines_dir)
+    entries = read_history(bench, history_dir)
+    print(f"{bench}:", file=out)
+    if not entries:
+        print("    no history — run the bench first (not a failure)",
+              file=out)
+        return False
+    latest = latest_comparable(entries, baseline)
+    if latest is None:
+        print(f"    no history entry matches baseline params "
+              f"{baseline.get('params')} — skipped (not a failure)",
+              file=out)
+        return False
+    thresholds = baseline.get("thresholds", {})
+    regressed = False
+    for name, base_value in sorted(baseline["metrics"].items()):
+        latest_value = latest.get("metrics", {}).get(name)
+        if not isinstance(latest_value, (int, float)):
+            print(f"    {name}: missing from latest run [REGRESSED]",
+                  file=out)
+            regressed = True
+            continue
+        if name in thresholds:
+            bad, line = compare_metric(name, float(latest_value),
+                                       float(base_value), thresholds[name])
+            regressed = regressed or bad
+        else:
+            line = (f"    {name}: {latest_value:g} vs baseline "
+                    f"{base_value:g} (untracked)")
+        spark = trajectory(
+            [e for e in entries if params_match(e, baseline)], name)
+        if spark:
+            line += f"  [{spark}]"
+        print(line, file=out)
+    sha = latest.get("git_sha", "?")
+    stamp = latest.get("timestamp", "?")
+    print(f"    latest: {sha} @ {stamp} "
+          f"({len(entries)} run(s) in history)", file=out)
+    return regressed
+
+
+def update_baseline(bench: str, history_dir: str = HISTORY_DIR,
+                    baselines_dir: str = BASELINES_DIR,
+                    out=sys.stdout) -> None:
+    """Rewrite ``bench``'s baseline metrics from its latest history entry.
+
+    Thresholds and params are preserved; only the metric values move.
+    """
+    baseline = read_baseline(bench, baselines_dir)
+    entries = read_history(bench, history_dir)
+    latest = latest_comparable(entries, baseline)
+    if latest is None:
+        raise BenchdiffError(
+            f"{bench}: no history entry matches baseline params; "
+            f"run the bench with matching params first")
+    for name in baseline["metrics"]:
+        value = latest.get("metrics", {}).get(name)
+        if isinstance(value, (int, float)):
+            baseline["metrics"][name] = value
+    baseline["git_sha"] = latest.get("git_sha", "unknown")
+    baseline["timestamp"] = latest.get("timestamp", "")
+    path = os.path.join(baselines_dir, f"{bench}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{bench}: baseline updated from {baseline['git_sha']}",
+          file=out)
+
+
+def known_benches(baselines_dir: str = BASELINES_DIR) -> list[str]:
+    """Benches with a committed baseline file."""
+    if not os.path.isdir(baselines_dir):
+        return []
+    return sorted(name[:-5] for name in os.listdir(baselines_dir)
+                  if name.endswith(".json"))
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare benchmark history against committed baselines")
+    parser.add_argument("benches", nargs="*",
+                        help="bench ids (default: every committed baseline)")
+    parser.add_argument("--history-dir", default=HISTORY_DIR)
+    parser.add_argument("--baselines-dir", default=BASELINES_DIR)
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite baseline metric values from the "
+                             "latest matching history entries")
+    args = parser.parse_args(argv)
+    benches = args.benches or known_benches(args.baselines_dir)
+    if not benches:
+        print("no baselines found — nothing to compare", file=out)
+        return 0
+    try:
+        if args.update_baselines:
+            for bench in benches:
+                update_baseline(bench, args.history_dir,
+                                args.baselines_dir, out)
+            return 0
+        regressed = [bench for bench in benches
+                     if diff_bench(bench, args.history_dir,
+                                   args.baselines_dir, out)]
+    except BenchdiffError as error:
+        print(f"benchdiff: {error}", file=sys.stderr)
+        return 2
+    if regressed:
+        print(f"REGRESSION in: {', '.join(regressed)}", file=out)
+        return 1
+    print("no regressions", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
