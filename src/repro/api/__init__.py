@@ -39,8 +39,12 @@ from repro.core.session import CumulonSession
 from repro.errors import (
     AdmissionRejectedError,
     JobCancelledError,
+    JournalCorruptionError,
+    JournalError,
+    RecoveryError,
     ReproError,
     ServiceError,
+    UnknownJobError,
     ValidationError,
 )
 from repro.observability.cost import CostMeter
@@ -52,6 +56,15 @@ from repro.observability.trace import (
     TraceEvent,
 )
 from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.durability import (
+    DurabilityStore,
+    Journal,
+    KillRecoverReport,
+    RecoveryStats,
+    kill_and_recover,
+    recover,
+    resume_script,
+)
 from repro.service.jobs import (
     JobHandle,
     JobResult,
@@ -80,6 +93,7 @@ __all__ = [
     "CumulonSession",
     "DeploymentOptimizer",
     "DeploymentPlan",
+    "DurabilityStore",
     "EvalCache",
     "ExecutionResult",
     "HourlyBilling",
@@ -89,10 +103,16 @@ __all__ = [
     "JobHandle",
     "JobResult",
     "JobService",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "KillRecoverReport",
     "MetricsRegistry",
     "POLICY_FAIR",
     "POLICY_FIFO",
     "Program",
+    "RecoveryError",
+    "RecoveryStats",
     "ReproError",
     "SearchSpace",
     "SearchTrace",
@@ -102,11 +122,15 @@ __all__ = [
     "TenantReport",
     "Trace",
     "TraceEvent",
+    "UnknownJobError",
     "ValidationError",
     "build_workload",
     "get_instance_type",
     "jain_fairness",
+    "kill_and_recover",
     "load_script",
+    "recover",
+    "resume_script",
     "run_program",
     "run_script",
     "save_script",

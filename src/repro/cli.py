@@ -37,6 +37,12 @@ Commands
 ``serve SCRIPT``
     Replay a submission script on the shared-cluster job service and
     print the per-tenant report (latency percentiles, fairness, dollars).
+    ``--journal DIR`` makes the run crash-safe via a write-ahead journal
+    (``--snapshot-every`` compacts it, ``--fsync-every`` batches syncs);
+    ``--recover`` resumes a journaled run after a crash.  The
+    ``chaos --scenario service-kill SCRIPT`` scenario SIGKILLs a
+    journaled serve mid-burst and proves recovery loses and double-bills
+    nothing.
 
 ``trace`` and ``metrics`` also accept ``--scenario``/``--chaos-seed`` to
 inject the same seeded failures into their simulated runs.
@@ -426,7 +432,68 @@ def cmd_metrics(args, out) -> int:
     return 0
 
 
+#: The control-plane chaos scenario: SIGKILL a journaled service run
+#: mid-burst and recover it (the WORKLOAD positional is the submission
+#: script path for this scenario).
+SCENARIO_SERVICE_KILL = "service-kill"
+
+
+def _cmd_chaos_service_kill(args, out) -> int:
+    """SIGKILL a journaled serve mid-burst, recover, compare digests."""
+    import tempfile
+
+    from repro.service.durability import (
+        DurabilityStore,
+        kill_and_recover,
+    )
+    from repro.service.script import (
+        build_service,
+        load_script,
+        submit_script_jobs,
+    )
+
+    script = _load_script_or_die(load_script, Path(args.workload))
+    workers = args.workers if getattr(args, "workers", None) else 0
+    with tempfile.TemporaryDirectory(prefix="repro-service-kill-") as tmp:
+        # Probe run: count the journal records one full burst writes, so
+        # the kill point (unless pinned via --chaos-seed) lands mid-burst.
+        probe = DurabilityStore(Path(tmp) / "probe", fsync_every=1)
+        probe_service = build_service(script, workers=workers, store=probe)
+        submit_script_jobs(probe_service, script)
+        probe_service.drain()
+        probe_service.close_durability()
+        total = probe.journal.records
+        kill_after = (args.chaos_seed if args.chaos_seed > 0
+                      else max(2, total // 2))
+        report = kill_and_recover(script, Path(tmp) / "run", kill_after,
+                                  fsync_every=1, workers=workers)
+    if args.json:
+        emit_json({
+            "scenario": SCENARIO_SERVICE_KILL,
+            "script": args.workload,
+            "journal_records_full_run": total,
+            "kill_after": report.kill_after,
+            "killed": report.killed,
+            "ok": report.ok,
+            "jobs_expected": report.jobs_expected,
+            "jobs_recovered": report.jobs_recovered,
+            "resubmitted": report.resubmitted,
+            "lost_jobs": report.lost_jobs,
+            "double_billed_jobs": report.double_billed_jobs,
+            "decisions_replayed": report.decisions_replayed,
+            "decisions_repriced": report.decisions_repriced,
+            "recovery_wall_seconds": report.recovery_wall_seconds,
+            "bills_match": report.bills_match,
+            "schedules_match": report.schedules_match,
+        }, out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args, out) -> int:
+    if args.scenario == SCENARIO_SERVICE_KILL:
+        return _cmd_chaos_service_kill(args, out)
     program, tile = build_workload(args.workload, args.scale)
     spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
                        args.slots)
@@ -534,36 +601,129 @@ def cmd_submit(args, out) -> int:
            "scale": args.scale, "submit_at": args.submit_at}
     script["jobs"].append(job)
     save_script(script, path)
+    pending = None
+    if getattr(args, "journal", None):
+        # Report how much of the (updated) script a journaled service at
+        # --journal has already made durable, and how much `serve
+        # --recover` would pick up fresh.
+        from repro.service.durability import DurabilityStore, scan_journal
+        from repro.service.jobs import EV_SUBMIT
+
+        store = DurabilityStore(Path(args.journal))
+        durable: set = set()
+        if store.has_state():
+            if store.snapshot_path.exists():
+                snapshot = _json.loads(store.snapshot_path.read_text())
+                for jdoc in snapshot.get("jobs", []):
+                    source = jdoc.get("source") or {}
+                    if "script_index" in source:
+                        durable.add(source["script_index"])
+            for record in scan_journal(store.journal_path).records:
+                if record.get("ev") == EV_SUBMIT:
+                    source = record.get("source") or {}
+                    durable.add(source.get("script_index",
+                                           record.get("job_id")))
+        pending = len(script["jobs"]) - len(durable)
     if args.json:
-        return emit_json({"script": str(path), "jobs": len(script["jobs"]),
-                          "tenants": [entry["name"]
-                                      for entry in script["tenants"]],
-                          "appended": job}, out)
+        document = {"script": str(path), "jobs": len(script["jobs"]),
+                    "tenants": [entry["name"]
+                                for entry in script["tenants"]],
+                    "appended": job}
+        if pending is not None:
+            document["journal_pending_jobs"] = pending
+        return emit_json(document, out)
     print(f"queued {args.workload}/{args.scale} for tenant "
           f"{args.tenant!r} at t={args.submit_at:g}s "
           f"({len(script['jobs'])} job(s) in {path})", file=out)
+    if pending is not None:
+        print(f"  journal {args.journal}: serve --recover would submit "
+              f"{pending} job(s) not yet durable", file=out)
     return 0
 
 
 def cmd_serve(args, out) -> int:
-    """Replay a submission script on the job service and report."""
-    from repro.service.script import load_script, run_script
+    """Replay a submission script on the job service and report.
+
+    With ``--journal DIR`` the run is crash-safe: every service event
+    lands in a write-ahead journal under DIR (snapshot-compacted every
+    ``--snapshot-every`` records, fsynced every ``--fsync-every``), and
+    ``--recover`` resumes a previous journaled run after a crash —
+    replaying the journal, re-submitting whatever was never durable, and
+    draining to the same schedule and bills the uninterrupted run
+    produces.
+    """
+    import os as _os
+
+    from repro.service.script import (
+        build_service,
+        load_script,
+        run_script,
+        submit_script_jobs,
+    )
 
     script = _load_script_or_die(load_script, Path(args.script))
     if args.policy:
         script["policy"] = args.policy
     workers = args.workers if args.workers is not None else 0
-    report, handles = run_script(script, workers=workers)
+    service = None
+    if args.journal:
+        from repro.service.durability import (
+            KILL_AFTER_ENV,
+            DurabilityStore,
+            recover,
+            resume_script,
+        )
+
+        journal_dir = Path(args.journal)
+        if args.recover:
+            service = recover(journal_dir, workers=workers,
+                              fsync_every=args.fsync_every,
+                              snapshot_every=args.snapshot_every)
+            resume_script(service, script)
+        else:
+            store = DurabilityStore(
+                journal_dir, fsync_every=args.fsync_every,
+                snapshot_every=args.snapshot_every,
+                kill_after=int(_os.environ.get(KILL_AFTER_ENV, "0") or 0))
+            if store.has_state():
+                raise ReproError(
+                    f"{journal_dir} already holds journaled service "
+                    f"state; pass --recover to resume it")
+            service = build_service(script, workers=workers, store=store)
+            submit_script_jobs(service, script)
+        service.drain()
+        report = service.report()
+        service.close_durability()
+        jobs = [{"job_id": record.job_id, "state": record.state}
+                for record in sorted(service.jobs.values(),
+                                     key=lambda record: record.order)]
+    else:
+        report, handles = run_script(script, workers=workers)
+        jobs = [{"job_id": handle.job_id, "state": handle.status}
+                for handle in handles]
     if args.json:
         document = report.summary()
-        document["jobs"] = [
-            {"job_id": handle.job_id, "state": handle.status}
-            for handle in handles
-        ]
+        document["jobs"] = jobs
+        if service is not None and service.journal is not None:
+            document["journal"] = service.journal.stats()
+        if service is not None and service.recovery is not None:
+            document["recovery"] = {
+                "commands_replayed": service.recovery.commands_replayed,
+                "decisions_replayed": service.recovery.decisions_replayed,
+                "decisions_repriced": service.recovery.decisions_repriced,
+                "truncated_bytes": service.recovery.truncated_bytes,
+                "wall_seconds": service.recovery.wall_seconds,
+            }
         return emit_json(document, out)
+    if service is not None and service.recovery is not None:
+        print(service.recovery.describe(), file=out)
     print(report.describe(), file=out)
-    for handle in handles:
-        print(f"  {handle.job_id}: {handle.status}", file=out)
+    for job in jobs:
+        print(f"  {job['job_id']}: {job['state']}", file=out)
+    if service is not None and service.journal is not None:
+        stats = service.journal.stats()
+        print(f"  journal: {stats['records']} record(s), "
+              f"{stats['bytes']}B, {stats['fsyncs']} fsync(s)", file=out)
     return 0
 
 
@@ -594,11 +754,12 @@ def _cluster_parent() -> argparse.ArgumentParser:
     return parent
 
 
-def _chaos_parent(required: bool = False) -> argparse.ArgumentParser:
+def _chaos_parent(required: bool = False,
+                  extra: tuple = ()) -> argparse.ArgumentParser:
     """Parent parser: seeded failure injection (``--scenario/--chaos-seed``)."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--scenario", required=required,
-                        default=None, choices=SCENARIOS,
+                        default=None, choices=tuple(SCENARIOS) + tuple(extra),
                         help="inject a seeded failure scenario into the "
                              "simulated run")
     parent.add_argument("--chaos-seed", dest="chaos_seed", type=int,
@@ -717,9 +878,13 @@ def make_parser() -> argparse.ArgumentParser:
                               "in minutes")
 
     chaos = subparsers.add_parser(
-        "chaos", parents=[workload, cluster, _chaos_parent(required=True),
+        "chaos", parents=[workload, cluster,
+                          _chaos_parent(required=True,
+                                        extra=(SCENARIO_SERVICE_KILL,)),
                           as_json],
-        help="run a workload under a seeded failure scenario")
+        help="run a workload under a seeded failure scenario (with "
+             f"--scenario {SCENARIO_SERVICE_KILL}, WORKLOAD is a "
+             "submission-script path and the seed pins the kill point)")
     chaos.add_argument("--seed", dest="chaos_seed", type=int,
                        default=argparse.SUPPRESS,
                        help="alias for --chaos-seed")
@@ -760,6 +925,10 @@ def make_parser() -> argparse.ArgumentParser:
     submit.add_argument("--policy", default=None, choices=POLICIES,
                         help="scheduling policy (applies when the script "
                              "is created)")
+    submit.add_argument("--journal", default=None,
+                        help="journal directory of a durable service; "
+                             "reports how many script jobs a `serve "
+                             "--recover` there would pick up")
 
     serve = subparsers.add_parser(
         "serve", parents=[workers, as_json],
@@ -767,6 +936,21 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("script", help="JSON submission script to replay")
     serve.add_argument("--policy", default=None, choices=POLICIES,
                        help="override the script's scheduling policy")
+    serve.add_argument("--journal", default=None,
+                       help="write-ahead journal directory: makes the run "
+                            "crash-safe (see docs/service.md)")
+    serve.add_argument("--snapshot-every", dest="snapshot_every", type=int,
+                       default=0,
+                       help="snapshot + compact the journal every N "
+                            "records (0 = never)")
+    serve.add_argument("--fsync-every", dest="fsync_every", type=int,
+                       default=32,
+                       help="fsync the journal every N records (1 = every "
+                            "record is durable before submit returns)")
+    serve.add_argument("--recover", action="store_true",
+                       help="recover the journaled service in --journal, "
+                            "resubmit whatever the crash lost, and finish "
+                            "the script")
 
     return parser
 

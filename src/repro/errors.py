@@ -77,5 +77,26 @@ class JobCancelledError(ServiceError):
     """The job was cancelled before it produced a result."""
 
 
+class UnknownJobError(ServiceError, ValidationError):
+    """A job id the service has never seen (stable across replays).
+
+    Subclasses :class:`ValidationError` for backwards compatibility —
+    callers that caught ``ValidationError`` for unknown ids keep working —
+    while giving journal replay and API clients one precise type to match.
+    """
+
+
+class JournalError(ServiceError):
+    """A durability-journal operation failed (I/O, schema, epoch)."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal record failed its checksum or framing mid-file."""
+
+
+class RecoveryError(JournalError):
+    """Journal/snapshot replay could not reconstruct the service state."""
+
+
 class InfeasibleConstraintError(OptimizationError):
     """No deployment plan satisfies the given time/budget constraint."""

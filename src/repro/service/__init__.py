@@ -18,7 +18,13 @@ This package adds the missing serving layer:
   :class:`~repro.observability.cost.CostMeter`;
 * **submission scripts** (:mod:`repro.service.script`) — JSON documents
   the ``repro serve`` / ``repro submit`` CLI pair round-trips, so a whole
-  multi-tenant workload replays bit-identically from one file.
+  multi-tenant workload replays bit-identically from one file;
+* a **durable control plane** (:mod:`repro.service.durability`) — a
+  write-ahead journal + snapshot compaction that makes the whole service
+  crash-safe: ``recover()`` replays the journal into the exact in-memory
+  state (schedules, bills, admission decisions — zero re-pricings), and
+  :func:`~repro.service.durability.kill_and_recover` is the chaos harness
+  proving it under real SIGKILL.
 """
 
 from repro.service.admission import (
@@ -26,6 +32,25 @@ from repro.service.admission import (
     AdmissionDecision,
     REJECT_BUDGET,
     REJECT_DEADLINE,
+    decision_from_doc,
+    decision_to_doc,
+    plan_digest,
+    plan_from_doc,
+    plan_to_doc,
+)
+from repro.service.durability import (
+    DurabilityStore,
+    Journal,
+    JournalScan,
+    KillRecoverReport,
+    RecoveryStats,
+    kill_and_recover,
+    read_journal,
+    recover,
+    report_digest,
+    resume_script,
+    scan_journal,
+    schedule_digest,
 )
 from repro.service.jobs import (
     JOB_STATES,
@@ -57,13 +82,19 @@ from repro.service.script import (
     load_script,
     run_script,
     save_script,
+    submit_script_jobs,
     validate_script,
 )
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "DurabilityStore",
     "JOB_STATES",
+    "Journal",
+    "JournalScan",
+    "KillRecoverReport",
+    "RecoveryStats",
     "JobHandle",
     "JobRecord",
     "JobResult",
@@ -85,10 +116,23 @@ __all__ = [
     "TenantReport",
     "allocate_slots",
     "build_service",
+    "decision_from_doc",
+    "decision_to_doc",
     "jain_fairness",
+    "kill_and_recover",
     "load_script",
+    "plan_digest",
+    "plan_from_doc",
+    "plan_to_doc",
+    "read_journal",
+    "recover",
+    "report_digest",
+    "resume_script",
     "run_script",
     "save_script",
+    "scan_journal",
+    "schedule_digest",
+    "submit_script_jobs",
     "validate_script",
     "weighted_shares",
 ]

@@ -17,13 +17,16 @@ the two — see :meth:`repro.service.jobs.ServiceReport`).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
-from repro.cloud.instances import ClusterSpec
+from repro.cloud.instances import ClusterSpec, get_instance_type
 from repro.core.benchmarking import HardwareCoefficients
 from repro.core.compiler import CompilerParams
 from repro.core.evalcache import EvalCache
 from repro.core.optimizer import DeploymentOptimizer, SearchSpace
+from repro.core.physical import ElementwiseParams, MatMulParams
 from repro.core.plans import DeploymentPlan
 from repro.core.program import Program
 from repro.errors import ValidationError
@@ -31,6 +34,106 @@ from repro.errors import ValidationError
 #: Rejection reasons.
 REJECT_BUDGET = "budget"
 REJECT_DEADLINE = "deadline"
+
+
+def plan_to_doc(plan: DeploymentPlan) -> dict:
+    """JSON-able form of a priced deployment plan (exact float round-trip).
+
+    The inverse is :func:`plan_from_doc`; together they let the durability
+    journal persist admission decisions so a recovered service replays
+    them instead of re-pricing (see :mod:`repro.service.durability`).
+    """
+    params = plan.compiler_params
+    return {
+        "instance": plan.spec.instance_type.name,
+        "nodes": plan.spec.num_nodes,
+        "slots_per_node": plan.spec.slots_per_node,
+        "tile_size": plan.tile_size,
+        "estimated_seconds": plan.estimated_seconds,
+        "estimated_cost": plan.estimated_cost,
+        "compiler_params": {
+            "matmul": {
+                "tiles_per_task_i": params.matmul.tiles_per_task_i,
+                "tiles_per_task_j": params.matmul.tiles_per_task_j,
+                "k_splits": params.matmul.k_splits,
+            },
+            "elementwise": {
+                "tiles_per_task": params.elementwise.tiles_per_task,
+            },
+            "fusion_enabled": params.fusion_enabled,
+            "cse_enabled": params.cse_enabled,
+            "reorder_chains": params.reorder_chains,
+            "simplify_enabled": params.simplify_enabled,
+        },
+    }
+
+
+def plan_from_doc(doc: dict) -> DeploymentPlan:
+    """Rebuild a :class:`~repro.core.plans.DeploymentPlan` from its doc."""
+    try:
+        cp = doc["compiler_params"]
+        params = CompilerParams(
+            matmul=MatMulParams(
+                tiles_per_task_i=int(cp["matmul"]["tiles_per_task_i"]),
+                tiles_per_task_j=int(cp["matmul"]["tiles_per_task_j"]),
+                k_splits=int(cp["matmul"]["k_splits"]),
+            ),
+            elementwise=ElementwiseParams(
+                tiles_per_task=int(cp["elementwise"]["tiles_per_task"]),
+            ),
+            fusion_enabled=bool(cp["fusion_enabled"]),
+            cse_enabled=bool(cp["cse_enabled"]),
+            reorder_chains=bool(cp["reorder_chains"]),
+            simplify_enabled=bool(cp["simplify_enabled"]),
+        )
+        return DeploymentPlan(
+            spec=ClusterSpec(get_instance_type(doc["instance"]),
+                             int(doc["nodes"]), int(doc["slots_per_node"])),
+            compiler_params=params,
+            estimated_seconds=float(doc["estimated_seconds"]),
+            estimated_cost=float(doc["estimated_cost"]),
+            tile_size=int(doc["tile_size"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValidationError(
+            f"malformed deployment-plan document: {error}") from error
+
+
+def plan_digest(plan: DeploymentPlan | None) -> str:
+    """Short content digest of a priced plan (journal/audit identity)."""
+    if plan is None:
+        return "none"
+    payload = json.dumps(plan_to_doc(plan), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def decision_to_doc(decision: "AdmissionDecision") -> dict:
+    """JSON-able form of one admission decision (journal payload)."""
+    return {
+        "admitted": decision.admitted,
+        "plan": plan_to_doc(decision.plan),
+        "plan_digest": plan_digest(decision.plan),
+        "work_slot_seconds": decision.work_slot_seconds,
+        "max_slots": decision.max_slots,
+        "estimated_dollars": decision.estimated_dollars,
+        "reject_reason": decision.reject_reason,
+    }
+
+
+def decision_from_doc(doc: dict) -> "AdmissionDecision":
+    """Rebuild an :class:`AdmissionDecision` from its journal payload."""
+    try:
+        return AdmissionDecision(
+            admitted=bool(doc["admitted"]),
+            plan=plan_from_doc(doc["plan"]),
+            work_slot_seconds=float(doc["work_slot_seconds"]),
+            max_slots=int(doc["max_slots"]),
+            estimated_dollars=float(doc["estimated_dollars"]),
+            reject_reason=doc.get("reject_reason"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValidationError(
+            f"malformed admission-decision document: {error}") from error
 
 
 @dataclass(frozen=True)

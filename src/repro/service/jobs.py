@@ -30,6 +30,7 @@ spread the same way), so tenant bills always sum to the meter's total.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import math
@@ -48,6 +49,7 @@ from repro.errors import (
     AdmissionRejectedError,
     JobCancelledError,
     ServiceError,
+    UnknownJobError,
     ValidationError,
 )
 from repro.observability.cost import CostMeter
@@ -61,7 +63,7 @@ from repro.observability.trace import (
     TraceEvent,
     TraceRecorder,
 )
-from repro.service.admission import AdmissionController
+from repro.service.admission import AdmissionController, decision_to_doc
 from repro.service.scheduler import (
     EPSILON,
     POLICIES,
@@ -80,6 +82,27 @@ STATE_CANCELLED = "cancelled"
 STATE_FAILED = "failed"        # real execution raised
 JOB_STATES = (STATE_PENDING, STATE_RUNNING, STATE_COMPLETED,
               STATE_REJECTED, STATE_CANCELLED, STATE_FAILED)
+
+#: Journal event kinds — *commands* are external inputs replayed verbatim
+#: during recovery; *effects* are what the deterministic event loop derives
+#: from them, journaled so replay can be validated record-for-record
+#: (see :mod:`repro.service.durability`).
+EV_HEADER = "header"          # journal segment header (config + epoch)
+EV_TENANT = "tenant"          # command: add_tenant
+EV_SUBMIT = "submit"          # command: submit
+EV_CANCEL = "cancel"          # command: cancel
+EV_ADVANCE = "advance"        # command: run_until(to)
+EV_RECOVERED = "recovered"    # marker: a recovery completed here
+EV_ADMIT = "admit"            # effect: admission decision (admitted)
+EV_REJECT = "reject"          # effect: admission decision (rejected)
+EV_START = "start"            # effect: job first allocated slots
+EV_COMPLETE = "complete"      # effect: job drained its slot-seconds
+EV_FAILED = "failed"          # effect: real execution raised
+EV_CANCELLED = "cancelled"    # effect: cancel command took effect
+EV_TICK = "tick"              # effect: slot re-allocation digest
+COMMAND_EVENTS = frozenset((EV_TENANT, EV_SUBMIT, EV_CANCEL, EV_ADVANCE))
+EFFECT_EVENTS = frozenset((EV_ADMIT, EV_REJECT, EV_START, EV_COMPLETE,
+                           EV_FAILED, EV_CANCELLED, EV_TICK))
 
 #: Remaining slot-seconds below this count as done (float drift guard).
 _WORK_EPSILON = 1e-6
@@ -138,6 +161,13 @@ class JobRecord:
     state: str = STATE_PENDING
     inputs: dict[str, np.ndarray] | None = None
     tile_size: int | None = None
+    #: Replayable provenance (e.g. ``{"workload": ..., "scale": ...,
+    #: "script_index": ...}``) so recovery can rebuild the program; jobs
+    #: submitted with in-memory programs only recover a name placeholder.
+    source: dict | None = None
+    #: Set once a cancel command has been accepted (makes cancel idempotent:
+    #: a second cancel journals and enqueues nothing).
+    cancel_requested: bool = False
     #: Filled at admission.
     plan: DeploymentPlan | None = None
     work_slot_seconds: float = 0.0
@@ -279,6 +309,78 @@ class JobService:
         self._order = itertools.count()
         self._generation = 0
         self._running: list[JobRecord] = []
+        # -- durability state (attached by repro.service.durability) -----------
+        #: The write-ahead journal, when durability is attached.
+        self.journal = None
+        self._store = None
+        self._snapshot_every = 0
+        #: True while recover() replays journal commands: journaling is
+        #: suppressed and regenerated effects are collected for validation.
+        self._replaying = False
+        #: Journaled admission decisions by job_id; consulted before pricing
+        #: so recovery re-prices nothing already decided.
+        self._replay_decisions: dict[str, object] = {}
+        #: Journaled terminal outcomes (state, error message) by job_id so a
+        #: replayed completion honors the pre-crash result without re-running
+        #: the executor.
+        self._replay_outcomes: dict[str, tuple[str, str]] = {}
+        self._replay_effects: list[dict] = []
+        #: Admission accounting: fresh pricings vs journal-replayed decisions.
+        self.decisions_priced = 0
+        self.decisions_replayed = 0
+        #: Filled by recover() with a RecoveryStats.
+        self.recovery = None
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_durability(self, store, fresh: bool = True) -> None:
+        """Journal every event through ``store`` from now on.
+
+        With ``fresh`` (the default) the store opens a new journal segment
+        and writes its header; ``recover()`` passes ``fresh=False`` after
+        reattaching the replayed journal.  Attach *before* adding tenants
+        or submitting, or those commands will not be durable.
+        """
+        if fresh:
+            store.start(self)
+        self._store = store
+        self.journal = store.journal
+        self._snapshot_every = store.snapshot_every
+
+    def take_snapshot(self) -> None:
+        """Snapshot full state now and compact (rotate) the journal."""
+        if self._store is None:
+            raise ValidationError("no durability store attached")
+        self._store.snapshot(self)
+
+    def close_durability(self) -> None:
+        """Flush the journal and persist the admission memo (idempotent)."""
+        if self._store is not None:
+            self._store.save_cache(self.admission.cache)
+        if self.journal is not None:
+            self.journal.close()
+
+    @property
+    def _jlogging(self) -> bool:
+        """Whether effect records are worth building at all."""
+        return self.journal is not None or self._replaying
+
+    def _jrec(self, kind: str, **fields_) -> None:
+        """Journal one record — or, during replay, collect the effect."""
+        record = {"ev": kind}
+        record.update(fields_)
+        if self._replaying:
+            if kind in EFFECT_EVENTS:
+                self._replay_effects.append(record)
+            return
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _maybe_snapshot(self) -> None:
+        if (self._store is not None and self._snapshot_every > 0
+                and not self._replaying and self.journal is not None
+                and self.journal.records_in_segment >= self._snapshot_every):
+            self._store.snapshot(self)
 
     # -- tenancy ---------------------------------------------------------------
 
@@ -290,6 +392,9 @@ class JobService:
             raise ValidationError(f"tenant {name!r} already registered")
         tenant = Tenant(name, budget_dollars=budget_dollars,
                         deadline_seconds=deadline_seconds, weight=weight)
+        self._jrec(EV_TENANT, clock=self._clock, name=name,
+                   budget_dollars=budget_dollars,
+                   deadline_seconds=deadline_seconds, weight=weight)
         self.tenants[name] = tenant
         return tenant
 
@@ -311,13 +416,16 @@ class JobService:
     def submit(self, program: Program, tenant: str,
                submit_at: float | None = None,
                inputs: dict[str, np.ndarray] | None = None,
-               tile_size: int | None = None) -> JobHandle:
+               tile_size: int | None = None,
+               source: dict | None = None) -> JobHandle:
         """Enqueue one program for ``tenant``; returns its handle.
 
         ``submit_at`` schedules the arrival on the virtual clock (default:
         now).  Admission — pricing, budget/deadline checks — happens when
         the clock reaches that instant, interleaved deterministically with
-        other tenants' arrivals and completions.
+        other tenants' arrivals and completions.  ``source`` optionally
+        records JSON-able provenance (workload name/scale) so a durable
+        journal can rebuild the program on recovery.
         """
         owner = self.tenant(tenant)
         at = self._clock if submit_at is None else float(submit_at)
@@ -327,12 +435,16 @@ class JobService:
         job_id = f"{owner.name}-j{next(self._order):04d}"
         record = JobRecord(job_id=job_id, tenant=owner.name, program=program,
                            submit_at=at, order=int(job_id.split("j")[-1]),
-                           inputs=inputs, tile_size=tile_size)
+                           inputs=inputs, tile_size=tile_size, source=source)
+        self._jrec(EV_SUBMIT, clock=self._clock, at=at, job_id=job_id,
+                   tenant=owner.name, program=program.name,
+                   tile_size=tile_size, source=source)
         self.jobs[job_id] = record
         self._push(at, "submit", record)
         if self.metrics.enabled:
             self.metrics.inc("service.jobs_submitted",
                              labels={"tenant": owner.name})
+        self._maybe_snapshot()
         return JobHandle(self, job_id)
 
     def status(self, job_id: str) -> str:
@@ -357,10 +469,18 @@ class JobService:
         return self._digest(record)
 
     def cancel(self, job_id: str) -> None:
-        """Withdraw a pending or running job at the current virtual time."""
+        """Withdraw a pending or running job at the current virtual time.
+
+        Idempotent: cancelling a finished job, or one already being
+        cancelled, is a no-op (nothing is journaled or enqueued), so a
+        cancel-after-complete interleaving replays identically.  Unknown
+        ids raise :class:`~repro.errors.UnknownJobError`.
+        """
         record = self._record(job_id)
-        if record.done:
+        if record.done or record.cancel_requested:
             return
+        record.cancel_requested = True
+        self._jrec(EV_CANCEL, clock=self._clock, job_id=job_id)
         self._push(self._clock, "cancel", record)
 
     # -- the virtual-clock event loop ------------------------------------------
@@ -371,6 +491,10 @@ class JobService:
             raise ValidationError(
                 f"cannot run the clock backwards to {limit_seconds} "
                 f"(clock is {self._clock})")
+        # Journal the *intent* before processing: if we crash mid-window,
+        # replay re-runs the whole window (redo semantics) and the journaled
+        # effects validate the regenerated prefix.
+        self._jrec(EV_ADVANCE, to=limit_seconds)
         while self._events and self._events[0][0] <= limit_seconds:
             at, __, kind, payload = heapq.heappop(self._events)
             if kind == "complete" and payload != self._generation:
@@ -384,6 +508,7 @@ class JobService:
                 self._handle_complete()
             self._reschedule()
         self._advance_to(limit_seconds)
+        self._maybe_snapshot()
 
     def drain(self) -> None:
         """Run the clock forward until every enqueued event has fired."""
@@ -396,7 +521,7 @@ class JobService:
         try:
             return self.jobs[job_id]
         except KeyError:
-            raise ValidationError(f"unknown job {job_id!r}") from None
+            raise UnknownJobError(f"unknown job {job_id!r}") from None
 
     def _push(self, at: float, kind: str, payload: object) -> None:
         heapq.heappush(self._events, (at, next(self._seq), kind, payload))
@@ -425,11 +550,20 @@ class JobService:
         if record.done:
             return  # cancelled while still pending
         tenant = self.tenants[record.tenant]
-        decision = self.admission.decide(
-            record.program,
-            budget_remaining_dollars=tenant.budget_remaining,
-            deadline_seconds=tenant.deadline_seconds,
-            tile_size=record.tile_size)
+        decision = self._replay_decisions.pop(record.job_id, None)
+        if decision is None:
+            decision = self.admission.decide(
+                record.program,
+                budget_remaining_dollars=tenant.budget_remaining,
+                deadline_seconds=tenant.deadline_seconds,
+                tile_size=record.tile_size)
+            self.decisions_priced += 1
+        else:
+            self.decisions_replayed += 1
+        if self._jlogging:
+            self._jrec(EV_REJECT if not decision.admitted else EV_ADMIT,
+                       clock=self._clock, job_id=record.job_id,
+                       decision=decision_to_doc(decision))
         record.plan = decision.plan
         record.work_slot_seconds = decision.work_slot_seconds
         record.remaining_slot_seconds = decision.work_slot_seconds
@@ -467,6 +601,11 @@ class JobService:
         record.state = STATE_CANCELLED
         record.finished_at = self._clock
         record.dollars = record.slot_seconds * rate
+        if self._jlogging:
+            self._jrec(EV_CANCELLED, clock=self._clock,
+                       job_id=record.job_id,
+                       slot_seconds=record.slot_seconds,
+                       dollars=record.dollars)
         if self.metrics.enabled:
             self.metrics.inc("service.jobs_cancelled",
                              labels={"tenant": record.tenant})
@@ -489,7 +628,17 @@ class JobService:
                 and latency > tenant.deadline_seconds:
             record.missed_deadline = True
         status = STATUS_SUCCESS
-        if self.executor is not None:
+        outcome = self._replay_outcomes.pop(record.job_id, None)
+        if outcome is not None:
+            # The pre-crash run already decided this job's fate: honor the
+            # journaled outcome rather than re-running the executor (whose
+            # in-memory output did not survive the crash).
+            state, message = outcome
+            if state == STATE_FAILED:
+                record.state = STATE_FAILED
+                record.error = ServiceError(message)
+                status = STATUS_FAILED
+        elif self.executor is not None:
             try:
                 record.execution = self.executor.run(record.program,
                                                      record.inputs)
@@ -499,6 +648,14 @@ class JobService:
                 status = STATUS_FAILED
         if record.state != STATE_FAILED:
             record.state = STATE_COMPLETED
+        if self._jlogging:
+            failed = record.state == STATE_FAILED
+            self._jrec(EV_FAILED if failed else EV_COMPLETE,
+                       clock=self._clock, job_id=record.job_id,
+                       slot_seconds=record.slot_seconds,
+                       dollars=record.dollars,
+                       missed_deadline=record.missed_deadline,
+                       error=str(record.error) if failed else None)
         if self.metrics.enabled:
             labels = {"tenant": record.tenant}
             name = ("service.jobs_completed"
@@ -544,6 +701,9 @@ class JobService:
             if record.allocated_slots > EPSILON:
                 if record.started_at is None:
                     record.started_at = self._clock
+                    if self._jlogging:
+                        self._jrec(EV_START, clock=self._clock,
+                                   job_id=record.job_id)
                 finish = (self._clock + record.remaining_slot_seconds
                           / record.allocated_slots)
                 if next_finish is None or finish < next_finish:
@@ -551,6 +711,13 @@ class JobService:
         if next_finish is not None:
             self._push(max(next_finish, self._clock), "complete",
                        self._generation)
+        if self._jlogging:
+            alloc = ";".join(f"{r.job_id}={r.allocated_slots!r}"
+                             for r in self._running)
+            self._jrec(EV_TICK, clock=self._clock,
+                       running=len(self._running),
+                       alloc=hashlib.sha256(
+                           alloc.encode("utf-8")).hexdigest()[:12])
         if self.metrics.enabled:
             self.metrics.sample(
                 "service.queue_depth",

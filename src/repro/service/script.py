@@ -97,8 +97,14 @@ def build_service(script: dict,
                   cache: EvalCache | None = None,
                   workers: int = 0,
                   metrics: MetricsRegistry = NULL_METRICS,
-                  recorder: TraceRecorder = NULL_RECORDER) -> JobService:
-    """Construct the :class:`~repro.service.jobs.JobService` a script asks for."""
+                  recorder: TraceRecorder = NULL_RECORDER,
+                  store=None) -> JobService:
+    """Construct the :class:`~repro.service.jobs.JobService` a script asks for.
+
+    ``store`` optionally attaches a
+    :class:`~repro.service.durability.DurabilityStore` *before* tenants are
+    registered, so the whole run — tenancy included — lands in the journal.
+    """
     validate_script(script)
     cluster = script["cluster"]
     spec = ClusterSpec(
@@ -116,6 +122,8 @@ def build_service(script: dict,
         metrics=metrics,
         recorder=recorder,
     )
+    if store is not None:
+        service.attach_durability(store)
     for tenant in script["tenants"]:
         service.add_tenant(
             tenant["name"],
@@ -126,23 +134,19 @@ def build_service(script: dict,
     return service
 
 
-def run_script(script: dict,
-               cache: EvalCache | None = None,
-               workers: int = 0,
-               metrics: MetricsRegistry = NULL_METRICS,
-               recorder: TraceRecorder = NULL_RECORDER,
-               ) -> tuple[ServiceReport, list[JobHandle]]:
-    """Replay a submission script to completion.
+def script_job_source(job: dict, index: int) -> dict:
+    """The journal provenance for one script job (recovery rebuilds from it)."""
+    return {
+        "workload": job["workload"],
+        "scale": job.get("scale", "tiny"),
+        "script_index": index,
+    }
 
-    Returns the drained service's report plus one handle per job, in
-    script order.  Deterministic: the same script (and worker count —
-    though pricing folds make even that irrelevant) always produces the
-    same report.
-    """
-    service = build_service(script, cache=cache, workers=workers,
-                            metrics=metrics, recorder=recorder)
+
+def submit_script_jobs(service: JobService, script: dict) -> list[JobHandle]:
+    """Submit every script job (tagged with replayable provenance)."""
     handles = []
-    for job in script["jobs"]:
+    for index, job in enumerate(script["jobs"]):
         program, tile = build_workload(job["workload"],
                                        job.get("scale", "tiny"))
         handles.append(service.submit(
@@ -150,6 +154,29 @@ def run_script(script: dict,
             tenant=job["tenant"],
             submit_at=float(job.get("submit_at", 0.0)),
             tile_size=int(job["tile_size"]) if "tile_size" in job else tile,
+            source=script_job_source(job, index),
         ))
+    return handles
+
+
+def run_script(script: dict,
+               cache: EvalCache | None = None,
+               workers: int = 0,
+               metrics: MetricsRegistry = NULL_METRICS,
+               recorder: TraceRecorder = NULL_RECORDER,
+               store=None) -> tuple[ServiceReport, list[JobHandle]]:
+    """Replay a submission script to completion.
+
+    Returns the drained service's report plus one handle per job, in
+    script order.  Deterministic: the same script (and worker count —
+    though pricing folds make even that irrelevant) always produces the
+    same report.  With ``store``, the run is journaled and the admission
+    memo persisted at the end (see :mod:`repro.service.durability`).
+    """
+    service = build_service(script, cache=cache, workers=workers,
+                            metrics=metrics, recorder=recorder, store=store)
+    handles = submit_script_jobs(service, script)
     service.drain()
+    if store is not None:
+        service.close_durability()
     return service.report(), handles

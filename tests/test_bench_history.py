@@ -123,7 +123,34 @@ class TestGate:
         write_baseline(tmp_path / "baselines")
         code, text = run_benchdiff(tmp_path)
         assert code == 0
-        assert "no history" in text
+        assert "no history yet" in text
+        assert "not a failure" in text
+
+    def test_empty_history_file_is_a_note_not_a_failure(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        write_history(tmp_path / "history", [])
+        (tmp_path / "history" / "toy.jsonl").write_text("\n\n")
+        code, text = run_benchdiff(tmp_path)
+        assert code == 0
+        assert "no history yet" in text
+
+    def test_non_object_history_line_is_a_usage_error(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        path = write_history(tmp_path / "history",
+                             [entry(dict(BASELINE["metrics"]))])
+        with path.open("a") as handle:
+            handle.write("42\n")  # valid JSON, not an object
+        code, __ = run_benchdiff(tmp_path)
+        assert code == 2
+
+    def test_null_metrics_entry_reads_as_missing_not_a_crash(self, tmp_path):
+        write_baseline(tmp_path / "baselines")
+        bad = entry(dict(BASELINE["metrics"]))
+        bad["metrics"] = None
+        write_history(tmp_path / "history", [bad])
+        code, text = run_benchdiff(tmp_path)
+        assert code == 1
+        assert "missing from latest run" in text
 
     def test_missing_metric_in_latest_run_fails(self, tmp_path):
         write_baseline(tmp_path / "baselines")
@@ -135,6 +162,13 @@ class TestGate:
 
     def test_bad_baseline_schema_is_a_usage_error(self, tmp_path):
         write_baseline(tmp_path / "baselines", {"metrics": {}})  # no bench
+        write_history(tmp_path / "history", [entry({})])
+        code, __ = run_benchdiff(tmp_path)
+        assert code == 2
+
+    def test_non_object_baseline_metrics_is_a_usage_error(self, tmp_path):
+        write_baseline(tmp_path / "baselines",
+                       {"bench": "toy", "metrics": [1, 2]})
         write_history(tmp_path / "history", [entry({})])
         code, __ = run_benchdiff(tmp_path)
         assert code == 2
@@ -231,7 +265,7 @@ class TestCommittedBaselines:
 
     def test_every_baseline_parses_and_gates(self):
         benches = benchdiff.known_benches()
-        assert set(benches) >= {"e22", "e23", "e24"}
+        assert set(benches) >= {"e22", "e23", "e24", "e25"}
         for bench in benches:
             document = benchdiff.read_baseline(bench)
             assert document["bench"] == bench

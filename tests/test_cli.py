@@ -247,6 +247,85 @@ class TestWorkloadRegistry:
             build_workload("quicksort", "small")
 
 
+class TestServeDurability:
+    def build_script(self, tmp_path, jobs=2):
+        path = tmp_path / "script.json"
+        for index in range(jobs):
+            code, __ = run_cli(
+                "submit", str(path), "multiply", "--scale", "tiny",
+                "--tenant", "acme", "--submit-at", str(index * 30.0),
+                "--nodes", "2")
+            assert code == 0
+        return path
+
+    def test_serve_with_journal_reports_stats(self, tmp_path):
+        script = self.build_script(tmp_path)
+        journal = tmp_path / "state"
+        code, text = run_cli("serve", str(script), "--journal",
+                             str(journal), "--json")
+        assert code == 0
+        document = json.loads(text)
+        assert document["journal"]["records"] > 0
+        assert (journal / "journal.wal").exists()
+        assert all(job["state"] == "completed"
+                   for job in document["jobs"])
+
+    def test_serve_refuses_existing_state_without_recover(
+            self, tmp_path, capsys):
+        script = self.build_script(tmp_path)
+        journal = tmp_path / "state"
+        code, __ = run_cli("serve", str(script), "--journal", str(journal))
+        assert code == 0
+        code, __ = run_cli("serve", str(script), "--journal",
+                           str(journal))
+        assert code == 1
+        assert "--recover" in capsys.readouterr().err
+
+    def test_serve_recover_picks_up_new_jobs(self, tmp_path):
+        script = self.build_script(tmp_path)
+        journal = tmp_path / "state"
+        code, __ = run_cli("serve", str(script), "--journal", str(journal))
+        assert code == 0
+        # A job appended after the journaled run is not yet durable.
+        code, text = run_cli(
+            "submit", str(script), "multiply", "--scale", "tiny",
+            "--tenant", "acme", "--submit-at", "90", "--journal",
+            str(journal), "--json")
+        assert code == 0
+        assert json.loads(text)["journal_pending_jobs"] == 1
+        code, text = run_cli("serve", str(script), "--journal",
+                             str(journal), "--recover", "--json")
+        assert code == 0
+        document = json.loads(text)
+        assert len(document["jobs"]) == 3
+        assert document["recovery"]["decisions_repriced"] == 0
+        assert document["recovery"]["decisions_replayed"] == 2
+
+    def test_serve_recover_text_describes_replay(self, tmp_path):
+        script = self.build_script(tmp_path)
+        journal = tmp_path / "state"
+        run_cli("serve", str(script), "--journal", str(journal))
+        code, text = run_cli("serve", str(script), "--journal",
+                             str(journal), "--recover")
+        assert code == 0
+        assert "recovered from journal" in text
+        assert "decisions replayed (0 re-priced)" in text
+
+    def test_chaos_service_kill_round_trip(self, tmp_path):
+        script = self.build_script(tmp_path)
+        code, text = run_cli("chaos", str(script), "--scenario",
+                             "service-kill", "--chaos-seed", "5", "--json")
+        assert code == 0
+        document = json.loads(text)
+        assert document["scenario"] == "service-kill"
+        assert document["kill_after"] == 5
+        assert document["killed"] is True
+        assert document["ok"] is True
+        assert document["lost_jobs"] == 0
+        assert document["double_billed_jobs"] == 0
+        assert document["bills_match"] and document["schedules_match"]
+
+
 class TestChaos:
     def test_node_crash_reports_damage(self):
         code, text = run_cli("chaos", "gnmf", "--scale", "tiny",

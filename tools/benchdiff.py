@@ -74,10 +74,15 @@ def read_history(bench: str, history_dir: str = HISTORY_DIR) -> list[dict]:
             if not line:
                 continue
             try:
-                entries.append(json.loads(line))
+                entry = json.loads(line)
             except json.JSONDecodeError as error:
                 raise BenchdiffError(
                     f"{path}:{line_no}: invalid JSON: {error}") from error
+            if not isinstance(entry, dict):
+                raise BenchdiffError(
+                    f"{path}:{line_no}: history entry must be a JSON "
+                    f"object, got {type(entry).__name__}")
+            entries.append(entry)
     return entries
 
 
@@ -95,7 +100,17 @@ def read_baseline(bench: str, baselines_dir: str = BASELINES_DIR) -> dict:
     for key in ("bench", "metrics"):
         if key not in document:
             raise BenchdiffError(f"{path}: missing required key {key!r}")
+    if not isinstance(document["metrics"], dict):
+        raise BenchdiffError(f"{path}: 'metrics' must be a JSON object")
+    if not isinstance(document.get("thresholds", {}), dict):
+        raise BenchdiffError(f"{path}: 'thresholds' must be a JSON object")
     return document
+
+
+def entry_metrics(entry: dict) -> dict:
+    """An entry's metrics dict; tolerates missing/null/malformed fields."""
+    metrics = entry.get("metrics")
+    return metrics if isinstance(metrics, dict) else {}
 
 
 def params_match(entry: dict, baseline: dict) -> bool:
@@ -144,8 +159,8 @@ def compare_metric(name: str, latest: float, base: float,
 def trajectory(entries: list[dict], metric: str,
                points: int = TRAJECTORY_POINTS) -> str:
     """An ASCII sparkline of ``metric`` over the last ``points`` runs."""
-    values = [entry["metrics"][metric] for entry in entries
-              if isinstance(entry.get("metrics", {}).get(metric),
+    values = [entry_metrics(entry)[metric] for entry in entries
+              if isinstance(entry_metrics(entry).get(metric),
                             (int, float))]
     values = values[-points:]
     if len(values) < 2:
@@ -167,7 +182,8 @@ def diff_bench(bench: str, history_dir: str = HISTORY_DIR,
     entries = read_history(bench, history_dir)
     print(f"{bench}:", file=out)
     if not entries:
-        print("    no history — run the bench first (not a failure)",
+        print(f"    no history yet — benchmarks/history/{bench}.jsonl is "
+              f"missing or empty; run the bench to seed it (not a failure)",
               file=out)
         return False
     latest = latest_comparable(entries, baseline)
@@ -179,7 +195,7 @@ def diff_bench(bench: str, history_dir: str = HISTORY_DIR,
     thresholds = baseline.get("thresholds", {})
     regressed = False
     for name, base_value in sorted(baseline["metrics"].items()):
-        latest_value = latest.get("metrics", {}).get(name)
+        latest_value = entry_metrics(latest).get(name)
         if not isinstance(latest_value, (int, float)):
             print(f"    {name}: missing from latest run [REGRESSED]",
                   file=out)
@@ -219,7 +235,7 @@ def update_baseline(bench: str, history_dir: str = HISTORY_DIR,
             f"{bench}: no history entry matches baseline params; "
             f"run the bench with matching params first")
     for name in baseline["metrics"]:
-        value = latest.get("metrics", {}).get(name)
+        value = entry_metrics(latest).get(name)
         if isinstance(value, (int, float)):
             baseline["metrics"][name] = value
     baseline["git_sha"] = latest.get("git_sha", "unknown")
