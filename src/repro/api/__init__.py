@@ -73,12 +73,23 @@ from repro.service.jobs import (
     Tenant,
     TenantReport,
 )
+from repro.service.loadgen import (
+    JournalAudit,
+    LoadTestReport,
+    ProtocolClient,
+    WallKillReport,
+    audit_journal,
+    run_loadtest,
+    wall_clock_kill_and_recover,
+)
+from repro.service.protocol import ProtocolError
 from repro.service.scheduler import POLICY_FAIR, POLICY_FIFO, jain_fairness
 from repro.service.script import (
     load_script,
     run_script,
     save_script,
 )
+from repro.service.server import ReproServer
 from repro.workloads import build_workload
 
 __all__ = [
@@ -104,16 +115,21 @@ __all__ = [
     "JobResult",
     "JobService",
     "Journal",
+    "JournalAudit",
     "JournalCorruptionError",
     "JournalError",
     "KillRecoverReport",
+    "LoadTestReport",
     "MetricsRegistry",
     "POLICY_FAIR",
     "POLICY_FIFO",
     "Program",
+    "ProtocolClient",
+    "ProtocolError",
     "RecoveryError",
     "RecoveryStats",
     "ReproError",
+    "ReproServer",
     "SearchSpace",
     "SearchTrace",
     "ServiceError",
@@ -124,6 +140,8 @@ __all__ = [
     "TraceEvent",
     "UnknownJobError",
     "ValidationError",
+    "WallKillReport",
+    "audit_journal",
     "build_workload",
     "get_instance_type",
     "jain_fairness",
@@ -131,7 +149,9 @@ __all__ = [
     "load_script",
     "recover",
     "resume_script",
+    "run_loadtest",
     "run_program",
     "run_script",
     "save_script",
+    "wall_clock_kill_and_recover",
 ]

@@ -42,7 +42,19 @@ Commands
     ``--recover`` resumes a journaled run after a crash.  The
     ``chaos --scenario service-kill SCRIPT`` scenario SIGKILLs a
     journaled serve mid-burst and proves recovery loses and double-bills
-    nothing.
+    nothing (add ``--wall-clock`` to kill the live socket server
+    instead).
+``serve --listen SOCK``
+    Run the service as a live wall-clock socket server: streaming NDJSON
+    submissions over a unix socket (or ``HOST:PORT``), batched admission
+    per scheduler tick, group-committed journal writes, graceful drain
+    (see docs/serving.md).  ``--time-scale`` maps wall seconds to
+    virtual cluster seconds.
+``loadtest [WORKLOAD]``
+    Fire a multi-process submission burst (``--jobs``/``--tenants``/
+    ``--processes``, Poisson/uniform/burst arrivals) at a live server,
+    report jobs/sec and admission/tick latency percentiles, and audit
+    the journal for lost or double-billed jobs (benchmark E26).
 
 ``trace`` and ``metrics`` also accept ``--scenario``/``--chaos-seed`` to
 inject the same seeded failures into their simulated runs.
@@ -491,8 +503,33 @@ def _cmd_chaos_service_kill(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_wall_kill(args, out) -> int:
+    """SIGKILL the live wall-clock socket server mid-burst and recover."""
+    import tempfile
+
+    from repro.service.loadgen import wall_clock_kill_and_recover
+
+    with tempfile.TemporaryDirectory(prefix="repro-wall-kill-") as tmp:
+        report = wall_clock_kill_and_recover(
+            Path(tmp), jobs=args.jobs, tenants=args.tenants,
+            kill_after=args.chaos_seed, workload=args.workload,
+            scale=args.scale)
+    if args.json:
+        document = report.to_doc()
+        document["scenario"] = SCENARIO_SERVICE_KILL
+        document["wall_clock"] = True
+        document["workload"] = args.workload
+        document["scale"] = args.scale
+        emit_json(document, out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args, out) -> int:
     if args.scenario == SCENARIO_SERVICE_KILL:
+        if getattr(args, "wall_clock", False):
+            return _cmd_chaos_wall_kill(args, out)
         return _cmd_chaos_service_kill(args, out)
     program, tile = build_workload(args.workload, args.scale)
     spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
@@ -651,6 +688,11 @@ def cmd_serve(args, out) -> int:
     replaying the journal, re-submitting whatever was never durable, and
     draining to the same schedule and bills the uninterrupted run
     produces.
+
+    With ``--listen`` the service instead runs as a live wall-clock
+    socket server accepting streaming NDJSON submissions (see
+    :mod:`repro.service.server` and docs/serving.md); the script becomes
+    optional seed state.
     """
     import os as _os
 
@@ -661,8 +703,15 @@ def cmd_serve(args, out) -> int:
         submit_script_jobs,
     )
 
-    script = _load_script_or_die(load_script, Path(args.script))
-    if args.policy:
+    if args.listen:
+        return _cmd_serve_listen(args, out)
+    script = (_load_script_or_die(load_script, Path(args.script))
+              if args.script else None)
+    if script is None and not (args.journal and args.recover):
+        raise ReproError(
+            "serve needs a submission script (or --listen for the socket "
+            "server, or --journal DIR --recover to finish a crashed run)")
+    if script is not None and args.policy:
         script["policy"] = args.policy
     workers = args.workers if args.workers is not None else 0
     service = None
@@ -679,7 +728,8 @@ def cmd_serve(args, out) -> int:
             service = recover(journal_dir, workers=workers,
                               fsync_every=args.fsync_every,
                               snapshot_every=args.snapshot_every)
-            resume_script(service, script)
+            if script is not None:
+                resume_script(service, script)
         else:
             store = DurabilityStore(
                 journal_dir, fsync_every=args.fsync_every,
@@ -725,6 +775,123 @@ def cmd_serve(args, out) -> int:
         print(f"  journal: {stats['records']} record(s), "
               f"{stats['bytes']}B, {stats['fsyncs']} fsync(s)", file=out)
     return 0
+
+
+def _cmd_serve_listen(args, out) -> int:
+    """Run the wall-clock socket server until a ``shutdown`` frame."""
+    import os as _os
+
+    from repro.service.jobs import JobService
+    from repro.service.script import (
+        build_service,
+        load_script,
+        submit_script_jobs,
+    )
+    from repro.service.server import ReproServer
+
+    workers = args.workers if args.workers is not None else 0
+    script = (_load_script_or_die(load_script, Path(args.script))
+              if args.script else None)
+    if script is not None and args.policy:
+        script["policy"] = args.policy
+    service = None
+    store = None
+    if args.journal:
+        from repro.service.durability import (
+            KILL_AFTER_ENV,
+            DurabilityStore,
+            recover,
+            resume_script,
+        )
+
+        journal_dir = Path(args.journal)
+        if args.recover:
+            service = recover(journal_dir, workers=workers,
+                              fsync_every=args.fsync_every,
+                              snapshot_every=args.snapshot_every)
+            if script is not None:
+                resume_script(service, script)
+        else:
+            store = DurabilityStore(
+                journal_dir, fsync_every=args.fsync_every,
+                snapshot_every=args.snapshot_every,
+                kill_after=int(_os.environ.get(KILL_AFTER_ENV, "0") or 0))
+            if store.has_state():
+                raise ReproError(
+                    f"{journal_dir} already holds journaled service "
+                    f"state; pass --recover to resume it")
+    if service is None:
+        if script is not None:
+            service = build_service(script, workers=workers, store=store)
+            submit_script_jobs(service, script)
+        else:
+            spec = ClusterSpec(get_instance_type(args.instance),
+                               args.nodes, args.slots)
+            service = JobService(spec, policy=args.policy or POLICY_FAIR,
+                                 workers=workers)
+            if store is not None:
+                service.attach_durability(store)
+    server = ReproServer(service, args.listen,
+                         tick_interval=args.tick_interval,
+                         max_batch=args.max_batch,
+                         max_wait=args.max_wait,
+                         time_scale=args.time_scale)
+    if not args.json:
+        print(f"listening on {args.listen} (wall clock, time-scale "
+              f"{args.time_scale:g}x, tick {args.tick_interval:g}s, "
+              f"batch <= {args.max_batch})", file=out, flush=True)
+    server.run()
+    report = server.report()
+    if args.json:
+        return emit_json(report, out)
+    stats = report["server"]
+    tick = stats["tick_seconds"]
+    accept = stats["accept_seconds"]
+    print(f"served {stats['submissions']} submission(s) over "
+          f"{stats['connections']} connection(s): {stats['accepted']} "
+          f"accepted, {stats['rejected']} rejected, "
+          f"{stats['results_sent']} result(s) delivered", file=out)
+    if accept.get("count"):
+        print(f"  admission latency p50 {accept['p50'] * 1e3:.1f}ms / "
+              f"p99 {accept['p99'] * 1e3:.1f}ms", file=out)
+    if tick.get("count"):
+        print(f"  {stats['ticks']} tick(s), p50 {tick['p50'] * 1e3:.1f}ms "
+              f"/ p99 {tick['p99'] * 1e3:.1f}ms, {stats['group_commits']} "
+              f"group commit(s), max batch {stats['max_batch_seen']}",
+              file=out)
+    if "journal" in report:
+        journal = report["journal"]
+        print(f"  journal: {journal['records']} record(s), "
+              f"{journal['bytes']}B, {journal['fsyncs']} fsync(s)",
+              file=out)
+    return 0
+
+
+def cmd_loadtest(args, out) -> int:
+    """Fire a multi-process submission burst at a live socket server."""
+    import tempfile
+
+    from repro.service.loadgen import run_loadtest
+
+    kwargs = dict(
+        jobs=args.jobs, tenants=args.tenants, processes=args.processes,
+        arrival=args.arrival, rate=args.rate, burst_size=args.burst_size,
+        seed=args.seed, workload=args.workload, scale=args.scale,
+        instance=args.instance, nodes=args.nodes, slots=args.slots,
+        tick_interval=args.tick_interval, max_batch=args.max_batch,
+        max_wait=args.max_wait, time_scale=args.time_scale,
+        fsync_every=args.fsync_every, listen=args.listen,
+        timeout=args.timeout)
+    if args.dir:
+        report = run_loadtest(Path(args.dir), **kwargs)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmp:
+            report = run_loadtest(Path(tmp), **kwargs)
+    if args.json:
+        emit_json(report.to_doc(), out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 1
 
 
 def _json_parent() -> argparse.ArgumentParser:
@@ -902,6 +1069,18 @@ def make_parser() -> argparse.ArgumentParser:
                        action="store_true",
                        help="also print the spot-market checkpoint-interval "
                             "advice for this workload")
+    chaos.add_argument("--wall-clock", dest="wall_clock",
+                       action="store_true",
+                       help=f"with --scenario {SCENARIO_SERVICE_KILL}: kill "
+                            "the live wall-clock socket server mid-burst "
+                            "instead of a script replay (WORKLOAD is then a "
+                            "workload name; the seed pins the kill record)")
+    chaos.add_argument("--jobs", type=int, default=120,
+                       help="submissions in the wall-clock kill burst "
+                            "(with --wall-clock)")
+    chaos.add_argument("--tenants", type=int, default=12,
+                       help="tenants in the wall-clock kill burst "
+                            "(with --wall-clock)")
 
     submit = subparsers.add_parser(
         "submit", parents=[cluster, as_json],
@@ -931,9 +1110,13 @@ def make_parser() -> argparse.ArgumentParser:
                              "--recover` there would pick up")
 
     serve = subparsers.add_parser(
-        "serve", parents=[workers, as_json],
-        help="replay a submission script on the multi-tenant job service")
-    serve.add_argument("script", help="JSON submission script to replay")
+        "serve", parents=[cluster, workers, as_json],
+        help="replay a submission script on the multi-tenant job service, "
+             "or run the live wall-clock socket server with --listen")
+    serve.add_argument("script", nargs="?", default=None,
+                       help="JSON submission script to replay (optional "
+                            "with --listen or --recover; the cluster flags "
+                            "apply only when no script defines the cluster)")
     serve.add_argument("--policy", default=None, choices=POLICIES,
                        help="override the script's scheduling policy")
     serve.add_argument("--journal", default=None,
@@ -951,6 +1134,77 @@ def make_parser() -> argparse.ArgumentParser:
                        help="recover the journaled service in --journal, "
                             "resubmit whatever the crash lost, and finish "
                             "the script")
+    serve.add_argument("--listen", default=None,
+                       help="serve a live NDJSON socket (unix path, or "
+                            "HOST:PORT for TCP) on the wall clock instead "
+                            "of replaying a script (see docs/serving.md)")
+    serve.add_argument("--tick-interval", dest="tick_interval", type=float,
+                       default=0.05,
+                       help="scheduler tick period in wall seconds "
+                            "(with --listen)")
+    serve.add_argument("--max-batch", dest="max_batch", type=int,
+                       default=256,
+                       help="max submissions admitted per scheduler tick "
+                            "(with --listen)")
+    serve.add_argument("--max-wait", dest="max_wait", type=float,
+                       default=None,
+                       help="max wall seconds a submission may wait for a "
+                            "batch to fill (default: one tick interval; "
+                            "with --listen)")
+    serve.add_argument("--time-scale", dest="time_scale", type=float,
+                       default=1.0,
+                       help="virtual cluster seconds per wall second "
+                            "(with --listen)")
+
+    loadtest = subparsers.add_parser(
+        "loadtest", parents=[cluster, as_json],
+        help="fire a multi-process submission burst at a live wall-clock "
+             "server and audit the journal (benchmark E26)")
+    loadtest.add_argument("workload", nargs="?", default="multiply",
+                          help=" | ".join(WORKLOAD_NAMES))
+    loadtest.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    loadtest.add_argument("--jobs", type=int, default=1000,
+                          help="total submissions to fire")
+    loadtest.add_argument("--tenants", type=int, default=100,
+                          help="synthetic tenants the jobs bill to")
+    loadtest.add_argument("--processes", type=int, default=4,
+                          help="client OS processes generating load")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=("uniform", "poisson", "burst"),
+                          help="arrival process for submissions")
+    loadtest.add_argument("--rate", type=float, default=0.0,
+                          help="per-process submissions per second "
+                               "(0 = as fast as the socket accepts)")
+    loadtest.add_argument("--burst-size", dest="burst_size", type=int,
+                          default=32,
+                          help="submissions per burst (with "
+                               "--arrival burst)")
+    loadtest.add_argument("--seed", type=int, default=7,
+                          help="arrival-process seed")
+    loadtest.add_argument("--tick-interval", dest="tick_interval",
+                          type=float, default=0.02,
+                          help="server scheduler tick period in seconds")
+    loadtest.add_argument("--max-batch", dest="max_batch", type=int,
+                          default=512,
+                          help="server max submissions per tick")
+    loadtest.add_argument("--max-wait", dest="max_wait", type=float,
+                          default=None,
+                          help="server max batching delay in seconds")
+    loadtest.add_argument("--time-scale", dest="time_scale", type=float,
+                          default=600.0,
+                          help="virtual cluster seconds per wall second")
+    loadtest.add_argument("--fsync-every", dest="fsync_every", type=int,
+                          default=4096,
+                          help="journal fsync batching on the server")
+    loadtest.add_argument("--listen", default=None,
+                          help="target an already-running server instead "
+                               "of spawning one (skips the journal audit "
+                               "unless --dir points at its journal)")
+    loadtest.add_argument("--dir", default=None,
+                          help="working directory for the socket + journal "
+                               "(default: a temp dir, deleted afterwards)")
+    loadtest.add_argument("--timeout", type=float, default=600.0,
+                          help="overall safety timeout in seconds")
 
     return parser
 
@@ -966,6 +1220,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "submit": cmd_submit,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
 }
 
 

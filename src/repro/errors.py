@@ -86,6 +86,19 @@ class UnknownJobError(ServiceError, ValidationError):
     """
 
 
+class ProtocolError(ServiceError):
+    """A wire-protocol frame was malformed or invalid (stable ``code``).
+
+    Carries a machine-readable ``code`` (one of the
+    :mod:`repro.service.protocol` ``ERR_*`` constants) so servers can
+    answer bad input with a structured error frame instead of dying.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
 class JournalError(ServiceError):
     """A durability-journal operation failed (I/O, schema, epoch)."""
 

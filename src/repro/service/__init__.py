@@ -24,7 +24,14 @@ This package adds the missing serving layer:
   crash-safe: ``recover()`` replays the journal into the exact in-memory
   state (schedules, bills, admission decisions — zero re-pricings), and
   :func:`~repro.service.durability.kill_and_recover` is the chaos harness
-  proving it under real SIGKILL.
+  proving it under real SIGKILL;
+* a **wall-clock socket server** (:mod:`repro.service.server`) — ``repro
+  serve --listen`` accepts streaming NDJSON submissions
+  (:mod:`repro.service.protocol`), batches admission per scheduler tick
+  (:mod:`repro.service.ticks`), and group-commits each batch to the
+  journal before acking; :mod:`repro.service.loadgen` is the matching
+  multi-process load generator and journal auditor (``repro loadtest``,
+  benchmark E26, and the ``--wall-clock`` chaos scenario).
 """
 
 from repro.service.admission import (
@@ -85,6 +92,24 @@ from repro.service.script import (
     submit_script_jobs,
     validate_script,
 )
+from repro.service.loadgen import (
+    JournalAudit,
+    LoadTestReport,
+    ProtocolClient,
+    ServerThread,
+    WallKillReport,
+    audit_journal,
+    run_loadtest,
+    wall_clock_kill_and_recover,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.server import ReproServer, ServerStats, parse_listen
+from repro.service.ticks import VirtualClockDriver, WallClockDriver
 
 __all__ = [
     "AdmissionController",
@@ -99,6 +124,9 @@ __all__ = [
     "JobRecord",
     "JobResult",
     "JobService",
+    "JournalAudit",
+    "LoadTestReport",
+    "MAX_FRAME_BYTES",
     "POLICIES",
     "POLICY_FAIR",
     "POLICY_FIFO",
@@ -110,17 +138,29 @@ __all__ = [
     "STATE_PENDING",
     "STATE_REJECTED",
     "STATE_RUNNING",
+    "ProtocolClient",
+    "ProtocolError",
+    "ReproServer",
+    "ServerStats",
+    "ServerThread",
     "ServiceReport",
     "SlotRequest",
     "Tenant",
     "TenantReport",
+    "VirtualClockDriver",
+    "WallClockDriver",
+    "WallKillReport",
     "allocate_slots",
+    "audit_journal",
     "build_service",
     "decision_from_doc",
     "decision_to_doc",
+    "decode_frame",
+    "encode_frame",
     "jain_fairness",
     "kill_and_recover",
     "load_script",
+    "parse_listen",
     "plan_digest",
     "plan_from_doc",
     "plan_to_doc",
@@ -128,11 +168,13 @@ __all__ = [
     "recover",
     "report_digest",
     "resume_script",
+    "run_loadtest",
     "run_script",
     "save_script",
     "scan_journal",
     "schedule_digest",
     "submit_script_jobs",
     "validate_script",
+    "wall_clock_kill_and_recover",
     "weighted_shares",
 ]

@@ -276,6 +276,11 @@ class Journal:
             raise JournalKilled(
                 f"deterministic crash after record {self.records}")
 
+    @property
+    def pending(self) -> int:
+        """Records appended since the last fsync (the group-commit batch)."""
+        return self._pending
+
     def sync(self) -> None:
         """Flush and fsync everything appended so far."""
         if self._file is None or self._pending == 0:

@@ -515,6 +515,15 @@ class JobService:
         while self._events:
             self.run_until(self._events[0][0])
 
+    @property
+    def next_event_at(self) -> float | None:
+        """Virtual time of the earliest queued event (None when idle).
+
+        Wall-clock tick drivers use this to sleep precisely until the
+        next thing that can happen instead of polling blindly.
+        """
+        return self._events[0][0] if self._events else None
+
     # -- internals -------------------------------------------------------------
 
     def _record(self, job_id: str) -> JobRecord:

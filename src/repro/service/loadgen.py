@@ -1,0 +1,834 @@
+"""Load generation, journal auditing, and chaos for the wall-clock server.
+
+Three layers, all speaking the NDJSON protocol of
+:mod:`repro.service.protocol`:
+
+* :class:`ProtocolClient` — a tiny blocking client (tests, scripting);
+* :func:`run_loadtest` — the multi-process load generator behind
+  ``repro loadtest`` and benchmark E26: spawns (or targets) a live
+  server, fires thousands of submissions across hundreds of tenants from
+  worker *processes* with a configurable arrival process, measures
+  client-side admission latency (submit -> ack), and audits the journal
+  afterwards to prove zero lost / double-billed jobs;
+* :func:`wall_clock_kill_and_recover` — the wall-clock extension of the
+  ``service-kill`` chaos scenario: SIGKILL the live server mid-burst,
+  recover the journal in-process, and verify every *acked* submission
+  survived (the group-commit guarantee: acks are sent only after the
+  batch's fsync).
+
+The journal audit (:func:`audit_journal`) is the ground truth for both:
+it recounts the write-ahead journal record-for-record — one admission
+decision per submission, exactly one terminal record per admitted job —
+independently of anything the server said on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServiceError, ValidationError
+from repro.service.durability import (
+    KILL_AFTER_ENV,
+    DurabilityStore,
+    recover,
+    scan_journal,
+)
+from repro.service.jobs import (
+    EV_ADMIT,
+    EV_CANCELLED,
+    EV_COMPLETE,
+    EV_FAILED,
+    EV_REJECT,
+    EV_SUBMIT,
+    _percentile,
+)
+from repro.service.protocol import (
+    T_ACK,
+    T_BYE,
+    T_DRAINED,
+    T_ERROR,
+    T_RESULT,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.server import parse_listen
+
+#: Arrival processes the load generator can drive.
+ARRIVAL_UNIFORM = "uniform"    # constant inter-arrival gap
+ARRIVAL_POISSON = "poisson"    # exponential gaps (memoryless)
+ARRIVAL_BURST = "burst"        # back-to-back bursts, then a pause
+ARRIVALS = (ARRIVAL_UNIFORM, ARRIVAL_POISSON, ARRIVAL_BURST)
+
+#: Terminal journal event kinds (exactly one per admitted job).
+_TERMINAL_EVENTS = (EV_COMPLETE, EV_FAILED, EV_CANCELLED)
+
+
+def _connect(listen: str, timeout: float = 30.0) -> socket.socket:
+    """Open a blocking socket to a server address, retrying until up."""
+    kind, target, port = parse_listen(listen)
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            if kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(target)
+            else:
+                sock = socket.create_connection((target, port))
+            sock.settimeout(timeout)
+            return sock
+        except OSError as error:
+            last_error = error
+            time.sleep(0.02)
+    raise ServiceError(f"cannot connect to {listen!r}: {last_error}")
+
+
+def wait_for_server(listen: str, timeout: float = 30.0,
+                    proc: subprocess.Popen | None = None) -> None:
+    """Block until the server accepts connections (or ``proc`` died)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc is not None and proc.poll() is not None:
+            raise ServiceError(
+                f"server process exited early (rc={proc.returncode})")
+        try:
+            _connect(listen, timeout=0.2).close()
+            return
+        except ServiceError:
+            continue
+    raise ServiceError(f"server at {listen!r} never came up")
+
+
+class ProtocolClient:
+    """Blocking NDJSON client: one frame out, frames in, in order.
+
+    The test-and-scripting client — no pipelining, no reader thread.
+    ``request`` sends one frame and returns the next reply;  ``recv``
+    reads one frame (None at EOF).  The load-generator workers use their
+    own pipelined sender instead (see :func:`_worker_main`).
+    """
+
+    def __init__(self, listen: str, timeout: float = 30.0):
+        self.sock = _connect(listen, timeout=timeout)
+        self.file = self.sock.makefile("rb")
+
+    def send(self, doc: dict) -> None:
+        """Write one frame."""
+        self.sock.sendall(encode_frame(doc))
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (protocol-violation tests)."""
+        self.sock.sendall(data)
+
+    def recv(self) -> dict | None:
+        """Read one frame; None on EOF (server hung up)."""
+        line = self.file.readline()
+        if not line:
+            return None
+        return decode_frame(line, max_bytes=1 << 30)
+
+    def request(self, doc: dict) -> dict | None:
+        """Send one frame and return the next frame the server sends."""
+        self.send(doc)
+        return self.recv()
+
+    def recv_until(self, frame_type: str, limit: int = 10_000) -> dict:
+        """Read frames until one of ``frame_type`` arrives (skip others)."""
+        for __ in range(limit):
+            doc = self.recv()
+            if doc is None:
+                raise ServiceError(
+                    f"connection closed waiting for {frame_type!r}")
+            if doc.get("type") == frame_type:
+                return doc
+        raise ServiceError(f"no {frame_type!r} frame within {limit} frames")
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ProtocolClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ServerThread:
+    """Run a :class:`~repro.service.server.ReproServer` on a thread.
+
+    The in-process flavor for tests: a live socket server without a
+    subprocess.  ``stop()`` sends a ``shutdown`` frame and joins.
+    """
+
+    def __init__(self, server):
+        self.server = server
+        self.thread = threading.Thread(target=server.run, daemon=True)
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        """Start and block until the socket accepts connections."""
+        self.thread.start()
+        wait_for_server(self.server.listen, timeout=timeout)
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the server via a ``shutdown`` frame and join the thread."""
+        if self.thread.is_alive():
+            try:
+                with ProtocolClient(self.server.listen, timeout=5.0) as c:
+                    c.send({"type": "shutdown"})
+                    c.recv()  # bye (or EOF)
+            except (ServiceError, OSError):
+                pass
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- the multi-process load generator ------------------------------------------
+
+
+def _arrival_sleep(arrival: str, rate: float, rng: random.Random,
+                   index: int, burst_size: int) -> float:
+    """Seconds to wait before sending submission ``index``."""
+    if rate <= 0:
+        return 0.0
+    if arrival == ARRIVAL_POISSON:
+        return rng.expovariate(rate)
+    if arrival == ARRIVAL_BURST:
+        if index % burst_size == 0 and index > 0:
+            return burst_size / rate
+        return 0.0
+    return 1.0 / rate  # uniform
+
+
+def _worker_main(out_q, listen: str, worker_id: int,
+                 submissions: list[tuple[str, str, str]],
+                 arrival: str, rate: float, seed: int,
+                 burst_size: int, timeout: float) -> None:
+    """One load-generator process: pipelined submits + a reader thread.
+
+    ``submissions`` is this worker's share of (tenant, workload, scale)
+    triples.  Admission latency is measured client-side — wall seconds
+    from the ``submit`` frame hitting the socket to its ``ack`` arriving
+    — which includes batching delay, pricing, and the group commit.
+    """
+    rng = random.Random(seed)
+    send_times: dict[int, float] = {}
+    latencies: dict[int, float] = {}
+    acked: list[str] = []
+    states: dict[str, int] = {}
+    errors: list[str] = []
+    drained = threading.Event()
+    died = threading.Event()
+
+    try:
+        sock = _connect(listen, timeout=timeout)
+    except ServiceError:
+        out_q.put({"worker": worker_id, "latencies": [], "acked": [],
+                   "states": {}, "errors": ["connect-failed"],
+                   "drained": False})
+        return
+    file = sock.makefile("rb")
+
+    def reader() -> None:
+        while True:
+            line = file.readline()
+            if not line:
+                died.set()
+                drained.set()
+                return
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            kind = doc.get("type")
+            if kind == T_ACK and "req" in doc:
+                req = doc["req"]
+                if req in send_times:
+                    latencies[req] = time.perf_counter() - send_times[req]
+                if doc.get("job_id"):
+                    acked.append(doc["job_id"])
+            elif kind == T_RESULT:
+                state = doc.get("state", "?")
+                states[state] = states.get(state, 0) + 1
+            elif kind == T_ERROR:
+                errors.append(doc.get("code", "?"))
+            elif kind == T_DRAINED:
+                drained.set()
+            elif kind == T_BYE:
+                drained.set()
+                return
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    try:
+        sock.sendall(encode_frame({"type": "hello",
+                                   "client": f"loadgen-{worker_id}"}))
+        for index, (tenant, workload, scale) in enumerate(submissions):
+            gap = _arrival_sleep(arrival, rate, rng, index, burst_size)
+            if gap > 0:
+                time.sleep(gap)
+            frame = encode_frame({"type": "submit", "tenant": tenant,
+                                  "workload": workload, "scale": scale,
+                                  "req": index})
+            send_times[index] = time.perf_counter()
+            sock.sendall(frame)
+            if died.is_set():
+                break
+        if not died.is_set():
+            sock.sendall(encode_frame({"type": "drain"}))
+            drained.wait(timeout)
+            try:
+                sock.sendall(encode_frame({"type": "bye"}))
+            except OSError:
+                pass
+    except OSError:
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    out_q.put({
+        "worker": worker_id,
+        "latencies": list(latencies.values()),
+        "acked": acked,
+        "states": states,
+        "errors": errors,
+        "drained": drained.is_set() and not died.is_set(),
+    })
+
+
+# -- journal audit -------------------------------------------------------------
+
+
+@dataclass
+class JournalAudit:
+    """Ground-truth recount of a server run from its journal directory."""
+
+    submitted: int = 0
+    decided: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: Jobs with more than one admission decision (must be 0).
+    double_decided: int = 0
+    #: Jobs with more than one terminal record (double billing; must be 0).
+    double_billed: int = 0
+    #: Admitted jobs with no terminal record (lost work; 0 after a drain).
+    lost: int = 0
+    #: Acked job ids missing from the journal (group-commit violation).
+    unjournaled_acks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Zero lost, double-billed, double-decided, or unjournaled jobs."""
+        return (self.lost == 0 and self.double_billed == 0
+                and self.double_decided == 0 and self.unjournaled_acks == 0)
+
+    def to_doc(self) -> dict:
+        return {"submitted": self.submitted, "decided": self.decided,
+                "admitted": self.admitted, "rejected": self.rejected,
+                "completed": self.completed, "failed": self.failed,
+                "cancelled": self.cancelled,
+                "double_decided": self.double_decided,
+                "double_billed": self.double_billed, "lost": self.lost,
+                "unjournaled_acks": self.unjournaled_acks,
+                "ok": self.ok}
+
+
+def audit_journal(directory: str | Path,
+                  acked: list[str] | None = None) -> JournalAudit:
+    """Recount a journal directory: decisions and terminals per job.
+
+    Composes the snapshot (if one exists) with the current journal
+    segment, so compacted history still counts.  ``acked`` optionally
+    cross-checks the wire against the disk: every job id a client saw an
+    ``ack`` for must appear as a journaled submission (the group-commit
+    guarantee).
+    """
+    store = DurabilityStore(Path(directory))
+    submits: dict[str, int] = {}
+    decisions: dict[str, int] = {}
+    admitted: set[str] = set()
+    rejected: set[str] = set()
+    terminals: dict[str, int] = {}
+    by_terminal = {EV_COMPLETE: 0, EV_FAILED: 0, EV_CANCELLED: 0}
+    if store.snapshot_path.exists():
+        snapshot = json.loads(store.snapshot_path.read_text())
+        for jdoc in snapshot.get("jobs", []):
+            job_id = jdoc["job_id"]
+            submits[job_id] = 1
+            state = jdoc["state"]
+            if state != "pending":
+                decisions[job_id] = 1
+                (rejected if state == "rejected" else admitted).add(job_id)
+            if state in ("completed", "failed", "cancelled"):
+                terminals[job_id] = 1
+                key = {"completed": EV_COMPLETE, "failed": EV_FAILED,
+                       "cancelled": EV_CANCELLED}[state]
+                by_terminal[key] += 1
+    for record in scan_journal(store.journal_path).records:
+        kind = record.get("ev")
+        job_id = record.get("job_id")
+        if kind == EV_SUBMIT:
+            submits[job_id] = submits.get(job_id, 0) + 1
+        elif kind in (EV_ADMIT, EV_REJECT):
+            decisions[job_id] = decisions.get(job_id, 0) + 1
+            (admitted if kind == EV_ADMIT else rejected).add(job_id)
+        elif kind in _TERMINAL_EVENTS:
+            terminals[job_id] = terminals.get(job_id, 0) + 1
+            by_terminal[kind] += 1
+    audit = JournalAudit(
+        submitted=len(submits),
+        decided=len(decisions),
+        admitted=len(admitted),
+        rejected=len(rejected),
+        completed=by_terminal[EV_COMPLETE],
+        failed=by_terminal[EV_FAILED],
+        cancelled=by_terminal[EV_CANCELLED],
+        double_decided=sum(1 for n in decisions.values() if n > 1),
+        double_billed=sum(1 for n in terminals.values() if n > 1),
+        lost=sum(1 for job_id in admitted if job_id not in terminals),
+    )
+    if acked:
+        audit.unjournaled_acks = sum(1 for job_id in set(acked)
+                                     if job_id not in submits)
+    return audit
+
+
+# -- the loadtest driver -------------------------------------------------------
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one ``repro loadtest`` run measured (JSON-able)."""
+
+    jobs: int
+    tenants: int
+    processes: int
+    arrival: str
+    rate: float
+    workload: str
+    scale: str
+    wall_seconds: float
+    acked: int
+    jobs_per_sec: float
+    admission_p50_ms: float
+    admission_p95_ms: float
+    admission_p99_ms: float
+    tick_p50_ms: float
+    tick_p99_ms: float
+    ticks: int
+    group_commits: int
+    max_batch_seen: int
+    results: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    workers_drained: int = 0
+    audit: JournalAudit = field(default_factory=JournalAudit)
+    server: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """All workers drained cleanly and the journal audit balances."""
+        return self.audit.ok and self.workers_drained == self.processes
+
+    def to_doc(self) -> dict:
+        return {
+            "jobs": self.jobs, "tenants": self.tenants,
+            "processes": self.processes, "arrival": self.arrival,
+            "rate": self.rate, "workload": self.workload,
+            "scale": self.scale, "wall_seconds": self.wall_seconds,
+            "acked": self.acked, "jobs_per_sec": self.jobs_per_sec,
+            "admission_p50_ms": self.admission_p50_ms,
+            "admission_p95_ms": self.admission_p95_ms,
+            "admission_p99_ms": self.admission_p99_ms,
+            "tick_p50_ms": self.tick_p50_ms,
+            "tick_p99_ms": self.tick_p99_ms,
+            "ticks": self.ticks, "group_commits": self.group_commits,
+            "max_batch_seen": self.max_batch_seen,
+            "results": self.results, "errors": self.errors,
+            "workers_drained": self.workers_drained,
+            "audit": self.audit.to_doc(),
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        audit = self.audit
+        return (
+            f"loadtest: {self.acked}/{self.jobs} jobs acked across "
+            f"{self.tenants} tenants ({self.processes} client processes, "
+            f"{self.arrival} arrivals) in {self.wall_seconds:.1f}s = "
+            f"{self.jobs_per_sec:.0f} jobs/s\n"
+            f"  admission latency p50 {self.admission_p50_ms:.1f}ms / "
+            f"p95 {self.admission_p95_ms:.1f}ms / "
+            f"p99 {self.admission_p99_ms:.1f}ms\n"
+            f"  scheduler: {self.ticks} ticks (p50 "
+            f"{self.tick_p50_ms:.1f}ms / p99 {self.tick_p99_ms:.1f}ms), "
+            f"{self.group_commits} group commits, max batch "
+            f"{self.max_batch_seen}\n"
+            f"  journal audit: {audit.submitted} submitted, "
+            f"{audit.admitted} admitted, {audit.rejected} rejected, "
+            f"{audit.lost} lost, {audit.double_billed} double-billed "
+            f"-> {'OK' if self.ok else 'FAILED'}")
+
+
+def _server_command(listen: str, journal: Path, *, instance: str,
+                    nodes: int, slots: int, tick_interval: float,
+                    max_batch: int, max_wait: float | None,
+                    time_scale: float, fsync_every: int) -> list[str]:
+    command = [sys.executable, "-m", "repro", "serve",
+               "--listen", listen, "--journal", str(journal),
+               "--instance", instance, "--nodes", str(nodes),
+               "--slots", str(slots),
+               "--tick-interval", str(tick_interval),
+               "--max-batch", str(max_batch),
+               "--time-scale", str(time_scale),
+               "--fsync-every", str(fsync_every), "--json"]
+    if max_wait is not None:
+        command += ["--max-wait", str(max_wait)]
+    return command
+
+
+def _spawn_env() -> dict:
+    env = dict(os.environ)
+    src_root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]]
+                           if env.get("PYTHONPATH") else []))
+    return env
+
+
+def run_loadtest(directory: str | Path, *,
+                 jobs: int = 1000,
+                 tenants: int = 100,
+                 processes: int = 4,
+                 arrival: str = ARRIVAL_POISSON,
+                 rate: float = 0.0,
+                 burst_size: int = 32,
+                 seed: int = 7,
+                 workload: str = "multiply",
+                 scale: str = "tiny",
+                 instance: str = "m1.large",
+                 nodes: int = 8,
+                 slots: int = 2,
+                 tick_interval: float = 0.02,
+                 max_batch: int = 512,
+                 max_wait: float | None = None,
+                 time_scale: float = 600.0,
+                 fsync_every: int = 4096,
+                 listen: str | None = None,
+                 timeout: float = 600.0) -> LoadTestReport:
+    """Drive a live socket server with a multi-process load burst.
+
+    Spawns ``repro serve --listen`` as a subprocess under ``directory``
+    (unless ``listen`` targets an already-running server), fans ``jobs``
+    submissions across ``tenants`` synthetic tenants from ``processes``
+    OS processes, waits for every worker to drain, shuts the server down
+    cleanly, and audits the journal.  ``rate`` is per-worker submissions
+    per second (0 = as fast as the socket accepts).
+    """
+    if arrival not in ARRIVALS:
+        raise ValidationError(
+            f"arrival must be one of {ARRIVALS}, got {arrival!r}")
+    if jobs <= 0 or tenants <= 0 or processes <= 0:
+        raise ValidationError("jobs, tenants, and processes must be > 0")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = directory / "state"
+    proc = None
+    if listen is None:
+        listen = str(directory / "server.sock")
+        proc = subprocess.Popen(
+            _server_command(listen, journal, instance=instance, nodes=nodes,
+                            slots=slots, tick_interval=tick_interval,
+                            max_batch=max_batch, max_wait=max_wait,
+                            time_scale=time_scale, fsync_every=fsync_every),
+            env=_spawn_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+    try:
+        wait_for_server(listen, timeout=min(60.0, timeout), proc=proc)
+
+        # Deal (tenant, workload, scale) triples round-robin to workers.
+        triples = [(f"t{index % tenants:04d}", workload, scale)
+                   for index in range(jobs)]
+        shares = [triples[index::processes] for index in range(processes)]
+        out_q = multiprocessing.Queue()
+        workers = [
+            multiprocessing.Process(
+                target=_worker_main,
+                args=(out_q, listen, index, shares[index], arrival, rate,
+                      seed + index, burst_size, timeout),
+                daemon=True)
+            for index in range(processes)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        outcomes = [out_q.get(timeout=timeout) for __ in workers]
+        for worker in workers:
+            worker.join(timeout=30.0)
+        wall = time.perf_counter() - started
+
+        latencies = [value for outcome in outcomes
+                     for value in outcome["latencies"]]
+        acked = [job_id for outcome in outcomes
+                 for job_id in outcome["acked"]]
+        results: dict[str, int] = {}
+        errors = 0
+        drained = 0
+        for outcome in outcomes:
+            for state, count in outcome["states"].items():
+                results[state] = results.get(state, 0) + count
+            errors += len(outcome["errors"])
+            drained += 1 if outcome["drained"] else 0
+
+        server_doc = _stop_server(listen, proc, timeout)
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+    tick_stats = (server_doc.get("server", {}).get("tick_seconds", {})
+                  if server_doc else {})
+    audit = audit_journal(journal, acked=acked) if journal.exists() \
+        else JournalAudit()
+    return LoadTestReport(
+        jobs=jobs, tenants=tenants, processes=processes, arrival=arrival,
+        rate=rate, workload=workload, scale=scale, wall_seconds=wall,
+        acked=len(acked),
+        jobs_per_sec=len(acked) / wall if wall > 0 else 0.0,
+        admission_p50_ms=_ms(latencies, 0.50),
+        admission_p95_ms=_ms(latencies, 0.95),
+        admission_p99_ms=_ms(latencies, 0.99),
+        tick_p50_ms=float(tick_stats.get("p50", 0.0)) * 1e3,
+        tick_p99_ms=float(tick_stats.get("p99", 0.0)) * 1e3,
+        ticks=int(server_doc.get("server", {}).get("ticks", 0))
+        if server_doc else 0,
+        group_commits=int(server_doc.get("server", {})
+                          .get("group_commits", 0)) if server_doc else 0,
+        max_batch_seen=int(server_doc.get("server", {})
+                           .get("max_batch_seen", 0)) if server_doc else 0,
+        results=results, errors=errors, workers_drained=drained,
+        audit=audit, server=server_doc or {},
+    )
+
+
+def _ms(values: list[float], fraction: float) -> float:
+    return _percentile(values, fraction) * 1e3 if values else 0.0
+
+
+def _stop_server(listen: str, proc: subprocess.Popen | None,
+                 timeout: float) -> dict | None:
+    """Shut the server down cleanly; returns its final JSON report."""
+    try:
+        with ProtocolClient(listen, timeout=10.0) as client:
+            client.send({"type": "shutdown"})
+            client.recv()  # bye (or EOF)
+    except (ServiceError, OSError):
+        pass
+    if proc is None:
+        return None
+    try:
+        stdout, __ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        stdout, __ = proc.communicate(timeout=30.0)
+    try:
+        return json.loads(stdout)
+    except (ValueError, TypeError):
+        return None
+
+
+# -- wall-clock kill-and-recover chaos -----------------------------------------
+
+
+@dataclass
+class WallKillReport:
+    """Outcome of one SIGKILL-mid-burst chaos run on the live server."""
+
+    kill_after: int
+    killed: bool
+    exit_code: int
+    sent: int
+    acked: int
+    journaled_submits: int
+    #: Acked submissions missing from the journal (must be 0: acks follow
+    #: the group commit).
+    lost_acked: int
+    #: Admitted jobs with no terminal record after the recovery drain.
+    lost_jobs: int
+    double_billed: int
+    recovered_jobs: int
+    decisions_replayed: int
+    decisions_repriced: int
+    recovery_wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Killed for real, nothing acked was lost, nothing billed twice."""
+        return (self.killed and self.lost_acked == 0
+                and self.lost_jobs == 0 and self.double_billed == 0)
+
+    def describe(self) -> str:
+        verdict = "OK" if self.ok else "DIVERGED"
+        fate = "killed" if self.killed else f"exit {self.exit_code}"
+        return (f"wall-clock kill@{self.kill_after} ({fate}): {verdict} — "
+                f"{self.acked}/{self.sent} acked, "
+                f"{self.journaled_submits} journaled, "
+                f"{self.lost_acked} acked-but-lost, "
+                f"{self.lost_jobs} lost, {self.double_billed} "
+                f"double-billed; {self.recovered_jobs} jobs recovered "
+                f"({self.decisions_replayed} decisions replayed / "
+                f"{self.decisions_repriced} re-priced) in "
+                f"{self.recovery_wall_seconds * 1e3:.1f}ms")
+
+    def to_doc(self) -> dict:
+        return {"kill_after": self.kill_after, "killed": self.killed,
+                "exit_code": self.exit_code, "sent": self.sent,
+                "acked": self.acked,
+                "journaled_submits": self.journaled_submits,
+                "lost_acked": self.lost_acked, "lost_jobs": self.lost_jobs,
+                "double_billed": self.double_billed,
+                "recovered_jobs": self.recovered_jobs,
+                "decisions_replayed": self.decisions_replayed,
+                "decisions_repriced": self.decisions_repriced,
+                "recovery_wall_seconds": self.recovery_wall_seconds,
+                "ok": self.ok}
+
+
+def wall_clock_kill_and_recover(directory: str | Path, *,
+                                jobs: int = 120,
+                                tenants: int = 12,
+                                kill_after: int = 0,
+                                workload: str = "multiply",
+                                scale: str = "tiny",
+                                tick_interval: float = 0.01,
+                                max_batch: int = 64,
+                                time_scale: float = 600.0,
+                                timeout: float = 600.0) -> WallKillReport:
+    """SIGKILL the live wall-clock server mid-burst, recover, audit.
+
+    Spawns ``repro serve --listen --journal`` with the deterministic
+    crash hook armed (``fsync_every=1`` so every record is a kill
+    point), fires a concurrent submission burst, and lets the hook kill
+    the server after the ``kill_after``-th journal record.  Then
+    recovers the journal **in-process**, drains the recovered service,
+    and audits: every submission the client got an ``ack`` for must be
+    in the journal (group commit ordering), and no admitted job may end
+    with zero or two terminal records.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = directory / "state"
+    listen = str(directory / "server.sock")
+    if kill_after <= 0:
+        # Each job costs ~5+ journal records end-to-end; twice the job
+        # count lands mid-burst with submissions still in flight.
+        kill_after = max(8, jobs * 2)
+    env = _spawn_env()
+    env[KILL_AFTER_ENV] = str(kill_after)
+    proc = subprocess.Popen(
+        _server_command(listen, journal, instance="m1.large", nodes=8,
+                        slots=2, tick_interval=tick_interval,
+                        max_batch=max_batch, max_wait=None,
+                        time_scale=time_scale, fsync_every=1),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+    acked: list[str] = []
+    sent = 0
+    try:
+        wait_for_server(listen, timeout=min(60.0, timeout), proc=proc)
+        sock = _connect(listen, timeout=10.0)
+        file = sock.makefile("rb")
+        dead = threading.Event()
+
+        def reader() -> None:
+            while True:
+                try:
+                    line = file.readline()
+                except OSError:
+                    break
+                if not line:
+                    break
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if doc.get("type") == T_ACK and doc.get("job_id"):
+                    acked.append(doc["job_id"])
+            dead.set()
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            for index in range(jobs):
+                sock.sendall(encode_frame({
+                    "type": "submit", "tenant": f"t{index % tenants:03d}",
+                    "workload": workload, "scale": scale, "req": index}))
+                sent += 1
+                if dead.is_set():
+                    break
+        except OSError:
+            pass  # the server died under us — exactly the point
+        # Wait for the SIGKILL to land (the burst may finish first).
+        proc.wait(timeout=timeout)
+        dead.wait(timeout=10.0)
+        try:
+            sock.close()
+        except OSError:
+            pass
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30.0)
+
+    killed = proc.returncode == -signal.SIGKILL
+
+    started = time.perf_counter()
+    service = recover(journal, fsync_every=1)
+    service.drain()
+    recovery_wall = time.perf_counter() - started
+    recovered_jobs = len(service.jobs)
+    decisions_replayed = service.recovery.decisions_replayed
+    decisions_repriced = service.recovery.decisions_repriced
+    service.close_durability()
+
+    audit = audit_journal(journal, acked=acked)
+    return WallKillReport(
+        kill_after=kill_after,
+        killed=killed,
+        exit_code=proc.returncode,
+        sent=sent,
+        acked=len(acked),
+        journaled_submits=audit.submitted,
+        lost_acked=audit.unjournaled_acks,
+        lost_jobs=audit.lost,
+        double_billed=audit.double_billed,
+        recovered_jobs=recovered_jobs,
+        decisions_replayed=decisions_replayed,
+        decisions_repriced=decisions_repriced,
+        recovery_wall_seconds=recovery_wall,
+    )

@@ -1,0 +1,212 @@
+"""Wire protocol for the wall-clock job server: NDJSON frames.
+
+One frame is one JSON object on one line (newline-delimited JSON, or
+*NDJSON*): compact UTF-8 JSON terminated by ``\\n``, never containing a
+raw newline itself.  The framing is deliberately boring — any language
+with a JSON parser and a socket can speak it — and every frame carries a
+``type`` field naming its meaning.
+
+Client → server frames
+----------------------
+``hello``     open a session (``client`` names the peer, optional)
+``submit``    enqueue one job (``tenant``, ``workload``, optional
+              ``scale``/``tile_size``/``req`` correlation id)
+``cancel``    withdraw a job by ``job_id``
+``status``    ask for a server/job status report
+``drain``     flush: ask for results of every outstanding job on this
+              connection (``scope: "all"`` waits on the whole server)
+``shutdown``  drain the whole server, then stop accepting and exit
+``bye``       close this connection politely
+
+Server → client frames
+----------------------
+``welcome``   answer to hello (server identity + limits)
+``ack``       answer to submit: the admission decision (``job_id``,
+              ``state``, dollars) — sent only *after* the decision is
+              journaled (group commit), so an acked job survives a crash
+``result``    a job reached a terminal state
+``status``    answer to status
+``drained``   every job covered by a prior drain has been resulted
+``error``     structured refusal: machine-readable ``code`` + message
+``bye``       connection closing
+
+Robustness rules: a malformed frame gets an ``error`` frame back and the
+connection *stays up* (the server never dies on bad input); frames larger
+than :data:`MAX_FRAME_BYTES` are refused with ``oversized-frame``; torn
+frames (EOF mid-line) terminate only that connection.  All violations
+raise :class:`~repro.errors.ProtocolError` with a stable ``code`` from
+the ``ERR_*`` constants below, which servers translate into ``error``
+frames via :func:`error_frame`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProtocolError
+
+#: Hard cap on one encoded frame, newline included (256 KiB).  Keeps a
+#: hostile or buggy client from ballooning server memory; the asyncio
+#: reader buffer is sized above this so our check fires first and yields
+#: a structured error instead of a transport exception.
+MAX_FRAME_BYTES = 256 * 1024
+
+#: Protocol schema version, echoed in hello/welcome.
+PROTOCOL_VERSION = 1
+
+# -- frame types ---------------------------------------------------------------
+
+# client → server
+T_HELLO = "hello"
+T_SUBMIT = "submit"
+T_CANCEL = "cancel"
+T_STATUS = "status"
+T_DRAIN = "drain"
+T_SHUTDOWN = "shutdown"
+T_BYE = "bye"
+
+# server → client
+T_WELCOME = "welcome"
+T_ACK = "ack"
+T_RESULT = "result"
+T_STATUS_REPLY = "status"  # same name, direction disambiguates
+T_DRAINED = "drained"
+T_ERROR = "error"
+
+CLIENT_FRAMES = frozenset((T_HELLO, T_SUBMIT, T_CANCEL, T_STATUS,
+                           T_DRAIN, T_SHUTDOWN, T_BYE))
+SERVER_FRAMES = frozenset((T_WELCOME, T_ACK, T_RESULT, T_STATUS_REPLY,
+                           T_DRAINED, T_ERROR, T_BYE))
+
+# -- stable error codes --------------------------------------------------------
+
+ERR_BAD_JSON = "bad-json"              # line is not valid JSON
+ERR_BAD_FRAME = "bad-frame"            # JSON but not an object / no type
+ERR_OVERSIZED = "oversized-frame"      # frame exceeds MAX_FRAME_BYTES
+ERR_UNKNOWN_TYPE = "unknown-type"      # type not in CLIENT_FRAMES
+ERR_MISSING_FIELD = "missing-field"    # required field absent or wrong type
+ERR_UNKNOWN_JOB = "unknown-job"        # job_id the server has never seen
+ERR_UNKNOWN_WORKLOAD = "unknown-workload"  # submit names no known workload
+ERR_JOB_FINISHED = "job-finished"      # cancel raced a terminal state
+ERR_DRAIN_PENDING = "drain-pending"    # second drain while one is in flight
+ERR_NOT_ACCEPTING = "not-accepting"    # server is draining / shutting down
+ERR_INTERNAL = "internal"              # unexpected server-side failure
+
+ERROR_CODES = frozenset((
+    ERR_BAD_JSON, ERR_BAD_FRAME, ERR_OVERSIZED, ERR_UNKNOWN_TYPE,
+    ERR_MISSING_FIELD, ERR_UNKNOWN_JOB, ERR_UNKNOWN_WORKLOAD,
+    ERR_JOB_FINISHED, ERR_DRAIN_PENDING, ERR_NOT_ACCEPTING, ERR_INTERNAL,
+))
+
+#: Required fields per client frame type: name → required python type(s).
+_REQUIRED: dict[str, dict[str, type | tuple[type, ...]]] = {
+    T_HELLO: {},
+    T_SUBMIT: {"tenant": str, "workload": str},
+    T_CANCEL: {"job_id": str},
+    T_STATUS: {},
+    T_DRAIN: {},
+    T_SHUTDOWN: {},
+    T_BYE: {},
+}
+
+#: Optional fields per client frame type (validated when present).
+_OPTIONAL: dict[str, dict[str, type | tuple[type, ...]]] = {
+    T_HELLO: {"client": str, "version": int},
+    T_SUBMIT: {"scale": (str, int, float), "tile_size": int,
+               "req": (str, int)},
+    T_CANCEL: {"req": (str, int)},
+    T_STATUS: {"job_id": str, "req": (str, int)},
+    T_DRAIN: {"scope": str, "req": (str, int)},
+    T_SHUTDOWN: {"req": (str, int)},
+    T_BYE: {},
+}
+
+
+def encode_frame(doc: dict) -> bytes:
+    """Serialize one frame: compact JSON + ``\\n`` as UTF-8 bytes."""
+    line = json.dumps(doc, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ERR_OVERSIZED,
+            f"encoded frame is {len(line)} bytes "
+            f"(limit {MAX_FRAME_BYTES})")
+    return line
+
+
+def decode_frame(line: bytes | str,
+                 max_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`~repro.errors.ProtocolError` with a stable code for
+    every way the line can be wrong: too big (``oversized-frame``), not
+    JSON (``bad-json``), not an object or missing/odd ``type``
+    (``bad-frame``).  Does *not* check the type against a direction —
+    use :func:`validate_frame` for that.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            ERR_OVERSIZED,
+            f"frame is {len(line)} bytes (limit {max_bytes})")
+    try:
+        doc = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(ERR_BAD_JSON,
+                            f"frame is not valid JSON: {error}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"frame must be a JSON object, got {type(doc).__name__}")
+    kind = doc.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError(ERR_BAD_FRAME,
+                            "frame is missing a string 'type' field")
+    return doc
+
+
+def validate_frame(doc: dict) -> dict:
+    """Check a decoded client frame's type and required fields.
+
+    Returns ``doc`` unchanged on success; raises
+    :class:`~repro.errors.ProtocolError` (``unknown-type`` /
+    ``missing-field``) otherwise.  Unknown extra fields are allowed for
+    forward compatibility.
+    """
+    kind = doc["type"]
+    if kind not in CLIENT_FRAMES:
+        raise ProtocolError(ERR_UNKNOWN_TYPE,
+                            f"unknown client frame type {kind!r}")
+    for name, types in _REQUIRED[kind].items():
+        value = doc.get(name)
+        if not isinstance(value, types) or value == "":
+            raise ProtocolError(
+                ERR_MISSING_FIELD,
+                f"{kind!r} frame requires field {name!r} "
+                f"of type {_typename(types)}")
+    for name, types in _OPTIONAL[kind].items():
+        if name in doc and not isinstance(doc[name], types):
+            raise ProtocolError(
+                ERR_MISSING_FIELD,
+                f"{kind!r} frame field {name!r} must be "
+                f"{_typename(types)}, got {type(doc[name]).__name__}")
+    return doc
+
+
+def error_frame(code: str, message: str, req=None) -> dict:
+    """Build a server ``error`` frame for a stable ``code``.
+
+    ``req`` echoes the client's correlation id when the offending frame
+    carried one, so pipelined clients can match errors to requests.
+    """
+    doc = {"type": T_ERROR, "code": code, "message": message}
+    if req is not None:
+        doc["req"] = req
+    return doc
+
+
+def _typename(types) -> str:
+    if isinstance(types, tuple):
+        return " or ".join(t.__name__ for t in types)
+    return types.__name__

@@ -1,10 +1,15 @@
-"""Tier-1 documentation gate: docstring coverage and markdown link health.
+"""Tier-1 documentation gate: docstrings, links, CLI refs, snapshots.
 
-Runs the same checks as the CI docs job (``tools/doccheck.py``): the core
-and observability packages must stay >=80% docstring-covered, and every
-relative link in ``docs/`` and the README must resolve — file and anchor.
-Keeping this in tier-1 means a renamed doc heading or an undocumented new
-module fails locally, not just in CI.
+Runs the same checks as the CI docs job (``tools/doccheck.py``): the
+core, observability, and service packages must stay >=80%
+docstring-covered, every relative link in ``docs/`` and the README must
+resolve — file and anchor — and every ``repro <subcommand>`` phrase in
+the docs must name a real subcommand.  On top of that, ``docs/cli.md``
+is snapshot-tested against ``tools/gendocs.py``: the committed CLI
+reference must byte-match what the live argparse tree generates.
+Keeping this in tier-1 means a renamed doc heading, an undocumented new
+module, or a CLI flag change without a doc regen fails locally, not just
+in CI.
 """
 
 import sys
@@ -14,6 +19,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import doccheck  # noqa: E402
+import gendocs  # noqa: E402
 
 
 class TestDocstringCoverage:
@@ -53,3 +59,35 @@ class TestMarkdownLinks:
         assert len(errors) == 2
         assert any("missing.md" in e for e in errors)
         assert any("#nope" in e for e in errors)
+
+
+class TestCliReferences:
+    def test_docs_name_only_real_subcommands(self):
+        assert doccheck.check_cli_references() == []
+
+    def test_parser_exposes_the_serving_stack(self):
+        known = doccheck.cli_subcommands()
+        assert {"serve", "loadtest", "chaos"} <= known
+
+    def test_stale_reference_is_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text("# A\nRun `repro frobnicate` twice.\n")
+        errors = doccheck.check_cli_references(root=tmp_path)
+        assert len(errors) == 1
+        assert "frobnicate" in errors[0]
+
+
+class TestCliReferenceSnapshot:
+    def test_generated_cli_md_matches_parser(self):
+        committed = (REPO_ROOT / "docs" / "cli.md").read_text(
+            encoding="utf-8")
+        regenerated = gendocs.generate()
+        assert committed == regenerated, (
+            "docs/cli.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gendocs.py`")
+
+    def test_reference_covers_every_subcommand(self):
+        text = (REPO_ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+        for name in doccheck.cli_subcommands():
+            assert f"## `repro {name}`" in text

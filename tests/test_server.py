@@ -1,0 +1,316 @@
+"""The wall-clock socket server, tick drivers, and load-test harness.
+
+Fast tier-1 coverage runs the server in-process (a thread + unix
+socket): batched admission, group commit, drain semantics, journal
+audit, and wall-clock recovery.  The ``slow``-marked tests exercise the
+real subprocess path — ``repro serve --listen`` spawned by
+:func:`~repro.service.loadgen.run_loadtest` and the SIGKILL chaos
+harness — exactly as benchmark E26 and CI's loadtest smoke job do.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.errors import ValidationError
+from repro.service.durability import DurabilityStore, recover
+from repro.service.jobs import JobService
+from repro.service.loadgen import (
+    JournalAudit,
+    ProtocolClient,
+    ServerThread,
+    audit_journal,
+    run_loadtest,
+    wall_clock_kill_and_recover,
+)
+from repro.service.server import ReproServer, parse_listen
+from repro.service.ticks import VirtualClockDriver, WallClockDriver
+from repro.workloads import build_workload
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def make_service(**kwargs):
+    spec = ClusterSpec(get_instance_type("m1.large"), 4, 2)
+    kwargs.setdefault("tune_physical", False)
+    return JobService(spec, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestParseListen:
+    def test_unix_path(self):
+        assert parse_listen("/tmp/x.sock") == ("unix", "/tmp/x.sock", None)
+
+    def test_tcp_host_port(self):
+        assert parse_listen("127.0.0.1:9000") == ("tcp", "127.0.0.1", 9000)
+
+    def test_relative_path_with_colon_free_name(self):
+        kind, __, __ = parse_listen("run/server.sock")
+        assert kind == "unix"
+
+
+class TestTickDrivers:
+    def test_virtual_driver_passthrough(self):
+        service = make_service()
+        driver = VirtualClockDriver(service)
+        assert driver.mode == "virtual"
+        driver.advance(5.0)
+        assert service.now == 5.0
+        assert driver.now_virtual() == 5.0
+
+    def test_wall_driver_maps_time_scale(self):
+        service = make_service()
+        clock = FakeClock(100.0)
+        driver = WallClockDriver(service, time_scale=60.0, clock=clock)
+        assert driver.mode == "wall"
+        clock.now = 102.0  # 2 wall seconds = 120 virtual seconds
+        assert driver.now_virtual() == pytest.approx(120.0)
+        driver.advance()
+        assert service.now == pytest.approx(120.0)
+
+    def test_wall_driver_never_runs_backwards(self):
+        service = make_service()
+        clock = FakeClock(0.0)
+        driver = WallClockDriver(service, time_scale=1.0, clock=clock)
+        service.run_until(50.0)  # something raced ahead of the clock
+        clock.now = 10.0
+        driver.advance()
+        assert service.now == 50.0
+
+    def test_wall_driver_rebase_after_jump(self):
+        service = make_service()
+        clock = FakeClock(0.0)
+        driver = WallClockDriver(service, time_scale=10.0, clock=clock)
+        service.run_until(1000.0)  # e.g. a recovery replayed the clock
+        clock.now = 3.0
+        driver.rebase()
+        clock.now = 4.0
+        assert driver.now_virtual() == pytest.approx(1010.0)
+
+    def test_wall_driver_seconds_until(self):
+        service = make_service()
+        clock = FakeClock(0.0)
+        driver = WallClockDriver(service, time_scale=10.0, clock=clock)
+        assert driver.seconds_until(25.0) == pytest.approx(2.5)
+        assert driver.seconds_until(-5.0) == 0.0
+
+    def test_wall_driver_rejects_bad_scale(self):
+        with pytest.raises(ValidationError):
+            WallClockDriver(make_service(), time_scale=0.0)
+
+
+class TestPriceMemo:
+    def test_repeat_submissions_hit_the_memo(self):
+        service = make_service()
+        program, tile = build_workload("multiply", "tiny")
+        service.add_tenant("a")
+        for __ in range(5):
+            service.submit(program, "a", tile_size=tile)
+        service.drain()
+        assert service.admission.price_misses == 1
+        assert service.admission.price_hits == 4
+
+    def test_next_event_at_tracks_queue(self):
+        service = make_service()
+        program, tile = build_workload("multiply", "tiny")
+        service.add_tenant("a")
+        assert service.next_event_at is None
+        service.submit(program, "a", submit_at=7.0, tile_size=tile)
+        assert service.next_event_at == 7.0
+        service.drain()
+        assert service.next_event_at is None
+
+
+class TestInProcessServer:
+    def serve(self, tmp_path, journal=False, **kwargs):
+        service = make_service()
+        if journal:
+            store = DurabilityStore(tmp_path / "state", fsync_every=4)
+            service.attach_durability(store)
+        kwargs.setdefault("tick_interval", 0.01)
+        kwargs.setdefault("time_scale", 5000.0)
+        return ReproServer(service, str(tmp_path / "server.sock"), **kwargs)
+
+    def test_submissions_batch_group_commit_and_audit(self, tmp_path):
+        server = self.serve(tmp_path, journal=True)
+        acked = []
+        with ServerThread(server):
+            with ProtocolClient(server.listen) as client:
+                for index in range(8):
+                    client.send({"type": "submit", "tenant": f"t{index % 3}",
+                                 "workload": "multiply", "scale": "tiny",
+                                 "req": index})
+                seen = 0
+                while seen < 8:
+                    doc = client.recv()
+                    if doc["type"] == "ack":
+                        acked.append(doc["job_id"])
+                        assert "estimated_dollars" in doc
+                        seen += 1
+                client.send({"type": "drain", "scope": "all"})
+                client.recv_until("drained")
+        assert server.stats.accepted == 8
+        assert server.stats.group_commits >= 1
+        # One cached Program -> one real pricing, the rest memo hits.
+        assert server.service.admission.price_misses == 1
+        assert server.service.admission.price_hits == 7
+        audit = audit_journal(tmp_path / "state", acked=acked)
+        assert audit.ok
+        assert audit.submitted == 8
+        assert audit.admitted == 8
+        assert audit.lost == 0 and audit.double_billed == 0
+
+    def test_wall_clock_journal_recovers_cleanly(self, tmp_path):
+        server = self.serve(tmp_path, journal=True)
+        with ServerThread(server):
+            with ProtocolClient(server.listen) as client:
+                for index in range(4):
+                    client.send({"type": "submit", "tenant": "acme",
+                                 "workload": "multiply", "scale": "tiny",
+                                 "req": index})
+                client.send({"type": "drain", "scope": "all"})
+                client.recv_until("drained")
+        states = {job_id: record.state
+                  for job_id, record in server.service.jobs.items()}
+        recovered = recover(tmp_path / "state", fsync_every=4)
+        assert {job_id: record.state
+                for job_id, record in recovered.jobs.items()} == states
+        assert recovered.recovery.decisions_repriced == 0
+        recovered.close_durability()
+
+    def test_rejects_bad_arguments(self):
+        service = make_service()
+        with pytest.raises(ValidationError):
+            ReproServer(service, "x.sock", tick_interval=0.0)
+        with pytest.raises(ValidationError):
+            ReproServer(service, "x.sock", max_batch=0)
+        with pytest.raises(ValidationError):
+            ReproServer(service, "x.sock", max_wait=-1.0)
+
+    def test_report_shape(self, tmp_path):
+        server = self.serve(tmp_path)
+        with ServerThread(server):
+            with ProtocolClient(server.listen) as client:
+                client.send({"type": "submit", "tenant": "a",
+                             "workload": "multiply", "scale": "tiny"})
+                client.recv_until("result")
+        report = server.report()
+        assert report["mode"] == "wall"
+        assert report["server"]["submissions"] == 1
+        assert report["server"]["results_sent"] == 1
+        assert report["service"]["throughput_jobs_per_hour"] > 0
+
+
+class TestJournalAudit:
+    def test_empty_directory_is_trivially_ok(self, tmp_path):
+        audit = JournalAudit()
+        assert audit.ok
+        assert audit.to_doc()["ok"] is True
+
+    def test_virtual_run_audits_clean(self, tmp_path):
+        service = make_service()
+        store = DurabilityStore(tmp_path / "state", fsync_every=1)
+        service.attach_durability(store)
+        program, tile = build_workload("multiply", "tiny")
+        service.add_tenant("a")
+        handles = [service.submit(program, "a", tile_size=tile)
+                   for __ in range(3)]
+        service.cancel(handles[2].job_id)
+        service.drain()
+        service.close_durability()
+        audit = audit_journal(tmp_path / "state",
+                              acked=[handle.job_id for handle in handles])
+        assert audit.ok
+        assert audit.submitted == 3
+        assert audit.completed == 2
+        assert audit.cancelled == 1
+
+    def test_detects_unjournaled_acks(self, tmp_path):
+        service = make_service()
+        store = DurabilityStore(tmp_path / "state", fsync_every=1)
+        service.attach_durability(store)
+        program, tile = build_workload("multiply", "tiny")
+        service.add_tenant("a")
+        service.submit(program, "a", tile_size=tile)
+        service.drain()
+        service.close_durability()
+        audit = audit_journal(tmp_path / "state", acked=["phantom-j0001"])
+        assert audit.unjournaled_acks == 1
+        assert not audit.ok
+
+
+@pytest.mark.slow
+class TestLoadTestSubprocess:
+    def test_small_loadtest_end_to_end(self, tmp_path):
+        report = run_loadtest(tmp_path, jobs=60, tenants=10, processes=2,
+                              arrival="poisson", tick_interval=0.01)
+        assert report.ok
+        assert report.acked == 60
+        assert report.audit.submitted == 60
+        assert report.audit.lost == 0
+        assert report.audit.double_billed == 0
+        assert report.jobs_per_sec > 0
+        assert report.admission_p99_ms > 0
+        assert report.group_commits >= 1
+        assert report.workers_drained == 2
+        doc = report.to_doc()
+        assert doc["ok"] is True and doc["audit"]["ok"] is True
+
+    def test_burst_arrivals(self, tmp_path):
+        report = run_loadtest(tmp_path, jobs=30, tenants=5, processes=1,
+                              arrival="burst", rate=500.0, burst_size=10,
+                              tick_interval=0.01)
+        assert report.ok
+        assert report.acked == 30
+
+    def test_wall_clock_kill_and_recover(self, tmp_path):
+        report = wall_clock_kill_and_recover(tmp_path, jobs=40, tenants=8,
+                                             tick_interval=0.01)
+        assert report.killed
+        assert report.ok
+        assert report.lost_acked == 0
+        assert report.lost_jobs == 0
+        assert report.double_billed == 0
+        assert report.journaled_submits > 0
+        assert "OK" in report.describe()
+
+    def test_cli_loadtest_json(self, tmp_path):
+        code, text = run_cli("loadtest", "--jobs", "30", "--tenants", "6",
+                             "--processes", "2", "--dir", str(tmp_path),
+                             "--json")
+        assert code == 0
+        import json as json_module
+        doc = json_module.loads(text)
+        assert doc["ok"] is True
+        assert doc["acked"] == 30
+        assert doc["audit"]["lost"] == 0
+
+    def test_cli_chaos_wall_clock(self):
+        code, text = run_cli("chaos", "multiply", "--scale", "tiny",
+                             "--scenario", "service-kill", "--wall-clock",
+                             "--jobs", "30", "--tenants", "6")
+        assert code == 0
+        assert "OK" in text
+
+
+class TestServeCli:
+    def test_serve_requires_script_or_listen(self):
+        code, __ = run_cli("serve")
+        assert code == 1
+
+    def test_loadtest_rejects_bad_arrival(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("loadtest", "--arrival", "quantum")

@@ -14,12 +14,16 @@ Two checks, both stdlib-only so they run anywhere the tests run:
   must point at an existing file, and every ``#anchor`` must match a
   heading in the target (GitHub-style slugs).  External ``http(s)``/
   ``mailto`` links are not fetched.
+* **CLI references** — every ``repro <subcommand>`` phrase anywhere in
+  the markdown tree must name a subcommand that actually exists in the
+  argparse tree (:func:`repro.cli.make_parser`), so docs can never
+  advertise a command the binary doesn't have.
 
 Run directly for a report::
 
     python tools/doccheck.py
 
-Exit status 0 iff both gates pass.
+Exit status 0 iff all gates pass.
 """
 
 from __future__ import annotations
@@ -33,7 +37,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Packages the docstring gate covers, and the threshold it enforces.
-COVERED_PACKAGES = ("src/repro/core", "src/repro/observability")
+COVERED_PACKAGES = ("src/repro/core", "src/repro/observability",
+                    "src/repro/service")
 FAIL_UNDER = 80.0
 
 #: Markdown sources the link checker walks.
@@ -159,6 +164,45 @@ def check_links(root: Path = REPO_ROOT) -> list[str]:
     return errors
 
 
+# -- CLI references ----------------------------------------------------------
+
+#: ``repro <word>`` anywhere in the markdown (prose, backticks, fences).
+CLI_REFERENCE_RE = re.compile(r"\brepro ([a-z][a-z0-9-]*)\b")
+
+
+def cli_subcommands() -> set[str]:
+    """The subcommand names the real argparse tree accepts."""
+    import argparse
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import make_parser
+
+    for action in make_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    return set()
+
+
+def check_cli_references(root: Path = REPO_ROOT) -> list[str]:
+    """``repro <subcommand>`` doc references that the parser rejects."""
+    try:
+        known = cli_subcommands()
+    except Exception as error:  # import failure is itself a doc-gate fail
+        return [f"cannot load the repro CLI parser: {error}"]
+    errors = []
+    for md_file in _iter_markdown_files(root):
+        rel = md_file.relative_to(root)
+        text = md_file.read_text(encoding="utf-8")
+        for match in CLI_REFERENCE_RE.finditer(text):
+            name = match.group(1)
+            if name not in known:
+                errors.append(f"{rel}: references nonexistent subcommand "
+                              f"`repro {name}`")
+    return errors
+
+
 # -- entry point -------------------------------------------------------------
 
 def main(argv=None) -> int:
@@ -173,6 +217,11 @@ def main(argv=None) -> int:
     link_errors = check_links()
     print(f"markdown links: {len(link_errors)} broken")
     for error in link_errors:
+        failed = True
+        print(f"  {error}")
+    cli_errors = check_cli_references()
+    print(f"cli references: {len(cli_errors)} stale")
+    for error in cli_errors:
         failed = True
         print(f"  {error}")
     return 1 if failed else 0
