@@ -10,6 +10,8 @@ from repro.core import (
     DeploymentOptimizer,
     Program,
     SearchSpace,
+    SearchSpec,
+    search,
 )
 from repro.cloud import get_instance_type
 
@@ -59,8 +61,9 @@ def main() -> None:
     for plan in optimizer.skyline(space):
         print(f"  {plan.describe()}")
 
-    deadline = 3 * 3600.0
-    best = optimizer.minimize_cost_under_deadline(deadline, space)
+    spec = SearchSpec(objective="min-cost", deadline_seconds=3 * 3600.0,
+                      space=space)
+    best = search(optimizer, spec).plan
     print(f"\nCheapest plan finishing within 3 hours:\n  {best.describe()}")
     print(f"  physical parameters: {best.compiler_params.matmul}")
 

@@ -9,7 +9,7 @@ provisioning, and configuration settings under time/budget constraints.
 Quick tour::
 
     from repro.core import Program, run_program
-    from repro.core import DeploymentOptimizer
+    from repro.core import DeploymentOptimizer, SearchSpec, search
 
     p = Program("demo")
     a = p.declare_input("A", 1000, 1000)
@@ -19,7 +19,8 @@ Quick tour::
 
     result = run_program(p, {"A": ..., "B": ...})     # really computes C
     optimizer = DeploymentOptimizer(p, tile_size=256) # prices cloud plans
-    plan = optimizer.minimize_cost_under_deadline(3600.0)
+    plan = search(optimizer, SearchSpec(objective="min-cost",
+                                        deadline_seconds=3600.0)).plan
 """
 
 __version__ = "1.0.0"

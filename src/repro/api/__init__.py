@@ -32,9 +32,16 @@ from repro.core.executor import (
     ExecutionResult,
     run_program,
 )
-from repro.core.optimizer import DeploymentOptimizer, SearchSpace
+from repro.core.optimizer import (
+    DeploymentOptimizer,
+    ReliabilityModel,
+    ReliablePlan,
+    SearchSpace,
+)
 from repro.core.plans import DeploymentPlan
 from repro.core.program import Program
+from repro.core.search import SearchResult, SearchSpec, search
+from repro.core.surrogate import SurrogateConfig, reliability_frontier
 from repro.core.session import CumulonSession
 from repro.errors import (
     AdmissionRejectedError,
@@ -49,7 +56,7 @@ from repro.errors import (
 )
 from repro.observability.cost import CostMeter
 from repro.observability.metrics import MetricsRegistry
-from repro.observability.search import SearchTrace
+from repro.observability.search import SearchStats, SearchTrace
 from repro.observability.trace import (
     InMemoryRecorder,
     Trace,
@@ -128,12 +135,18 @@ __all__ = [
     "ProtocolError",
     "RecoveryError",
     "RecoveryStats",
+    "ReliabilityModel",
+    "ReliablePlan",
     "ReproError",
     "ReproServer",
+    "SearchResult",
     "SearchSpace",
+    "SearchSpec",
+    "SearchStats",
     "SearchTrace",
     "ServiceError",
     "ServiceReport",
+    "SurrogateConfig",
     "Tenant",
     "TenantReport",
     "Trace",
@@ -148,10 +161,12 @@ __all__ = [
     "kill_and_recover",
     "load_script",
     "recover",
+    "reliability_frontier",
     "resume_script",
     "run_loadtest",
     "run_program",
     "run_script",
     "save_script",
+    "search",
     "wall_clock_kill_and_recover",
 ]

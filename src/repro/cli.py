@@ -100,8 +100,9 @@ from repro.core.explain import (
 )
 from repro.core.optimizer import DeploymentOptimizer, SearchSpace
 from repro.core.physical import PhysicalContext
+from repro.core.search import METHODS, SearchSpec, search
 from repro.core.simcost import simulate_program
-from repro.errors import ReproError
+from repro.errors import InfeasibleConstraintError, ReproError
 from repro.observability import (
     CostMeter,
     InMemoryRecorder,
@@ -189,8 +190,36 @@ def build_search_space(args) -> SearchSpace:
     return SearchSpace(**kwargs)
 
 
+def build_search_spec(args, space: SearchSpace,
+                      reliability=None) -> SearchSpec:
+    """A declarative :class:`SearchSpec` from the shared search flags.
+
+    The objective defaults to whichever constraint was given
+    (``--deadline`` implies min-cost, ``--budget`` implies min-time);
+    an explicit ``--objective`` must agree with its constraint.
+    """
+    deadline = getattr(args, "deadline", None)
+    budget = getattr(args, "budget", None)
+    objective = getattr(args, "objective", None)
+    if objective is None:
+        objective = "min-time" if budget is not None else "min-cost"
+    if objective == "min-cost" and deadline is None:
+        raise ReproError("--objective min-cost needs --deadline")
+    if objective == "min-time" and budget is None:
+        raise ReproError("--objective min-time needs --budget")
+    return SearchSpec(
+        objective=objective,
+        method=getattr(args, "method", "exhaustive"),
+        deadline_seconds=(deadline * 60.0 if objective == "min-cost"
+                          else None),
+        budget_dollars=budget if objective == "min-time" else None,
+        space=space,
+        reliability=reliability)
+
+
 def cmd_explain(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
+    stats = None
     if args.search:
         trace = SearchTrace()
         workers = args.workers if args.workers is not None else 0
@@ -198,11 +227,21 @@ def cmd_explain(args, out) -> int:
                                         search_trace=trace,
                                         workers=workers)
         space = build_search_space(args)
-        optimizer.skyline(space)
-        if args.deadline is not None:
-            trace.mark_deadline(args.deadline * 60.0)
-        elif args.budget is not None:
-            trace.mark_budget(args.budget)
+        if args.method == "surrogate":
+            if args.deadline is None and args.budget is None:
+                raise ReproError("--method surrogate needs --deadline "
+                                 "or --budget")
+            try:
+                search(optimizer, build_search_spec(args, space))
+            except InfeasibleConstraintError:
+                pass  # the trace still shows every candidate it priced
+        else:
+            optimizer.skyline(space)
+            if args.deadline is not None:
+                trace.mark_deadline(args.deadline * 60.0)
+            elif args.budget is not None:
+                trace.mark_budget(args.budget)
+        stats = optimizer.last_search_stats
         document = explain_search(trace)
     else:
         compiled = compile_program(program, PhysicalContext(tile))
@@ -211,8 +250,11 @@ def cmd_explain(args, out) -> int:
         else:
             document = explain_program(compiled)
     if args.json:
-        return emit_json({"workload": args.workload, "scale": args.scale,
-                          "explain": document}, out)
+        payload = {"workload": args.workload, "scale": args.scale,
+                   "explain": document}
+        if stats is not None:
+            payload["search_stats"] = stats.to_dict()
+        return emit_json(payload, out)
     print(document, file=out)
     return 0
 
@@ -234,28 +276,40 @@ def cmd_simulate(args, out) -> int:
 def cmd_optimize(args, out) -> int:
     program, tile = build_workload(args.workload, args.scale)
     optimizer = DeploymentOptimizer(program, tile_size=tile)
-    space = SearchSpace(node_counts=(1, 2, 4, 8, 16, 32),
-                        slots_options=(1, 2, 4, 8))
-    if args.deadline is not None:
-        plan = optimizer.minimize_cost_under_deadline(args.deadline * 60.0,
-                                                      space)
+    if any(getattr(args, name, None)
+           for name in ("instances", "node_counts", "slot_options")):
+        space = build_search_space(args)
+    else:
+        # The historical default grid for this command.
+        space = SearchSpace(node_counts=(1, 2, 4, 8, 16, 32),
+                            slots_options=(1, 2, 4, 8))
+    result = search(optimizer, build_search_spec(args, space))
+    plan = result.plan
+    if result.objective == "min-cost":
         headline = f"cheapest plan within {args.deadline:g} min:"
     else:
-        plan = optimizer.minimize_time_under_budget(args.budget, space)
         headline = f"fastest plan within ${args.budget:.2f}:"
     if args.json:
         return emit_json({
             "workload": args.workload, "scale": args.scale,
             "constraint": ({"deadline_minutes": args.deadline}
-                           if args.deadline is not None
+                           if result.objective == "min-cost"
                            else {"budget_dollars": args.budget}),
+            "objective": result.objective,
+            "method": result.method,
             "cluster": plan.spec.describe(),
             "tile_size": plan.tile_size,
             "estimated_seconds": plan.estimated_seconds,
             "estimated_cost": plan.estimated_cost,
+            "search_stats": result.stats.to_dict(),
         }, out)
     print(headline, file=out)
     print(explain_plan(plan), file=out)
+    if result.method == "surrogate":
+        print(f"surrogate search: {result.stats.sim_requests} simulations "
+              f"({result.stats.simulations_avoided} avoided, "
+              f"{result.stats.surrogate_rounds} model-guided rounds)",
+              file=out)
     return 0
 
 
@@ -532,8 +586,18 @@ def cmd_chaos(args, out) -> int:
             return _cmd_chaos_wall_kill(args, out)
         return _cmd_chaos_service_kill(args, out)
     program, tile = build_workload(args.workload, args.scale)
-    spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
-                       args.slots)
+    searched = None
+    if args.deadline is not None or args.budget is not None:
+        # The shared search flags pick the cluster instead of
+        # --instance/--nodes/--slots: run the (failure-free) optimizer,
+        # then stress the chosen deployment under the scenario.
+        optimizer = DeploymentOptimizer(program, tile_size=tile)
+        searched = search(optimizer,
+                          build_search_spec(args, build_search_space(args)))
+        spec = searched.plan.spec
+    else:
+        spec = ClusterSpec(get_instance_type(args.instance), args.nodes,
+                           args.slots)
     compiled = compile_program(program, PhysicalContext(tile))
     recorder = (InMemoryRecorder(source=SOURCE_SIMULATED)
                 if args.trace_out else None)
@@ -547,7 +611,7 @@ def cmd_chaos(args, out) -> int:
         recorder=recorder if recorder is not None else NULL_RECORDER,
         metrics=registry if registry is not None else NULL_METRICS)
     if args.json:
-        emit_json({
+        payload = {
             "workload": args.workload, "scale": args.scale,
             "scenario": report.scenario, "seed": report.seed,
             "recovery": report.recovery, "cluster": spec.describe(),
@@ -560,8 +624,14 @@ def cmd_chaos(args, out) -> int:
             "reexecuted_tasks": report.reexecuted_tasks,
             "rereplicated_bytes": report.rereplicated_bytes,
             "abort_reason": report.abort_reason,
-        }, out)
+        }
+        if searched is not None:
+            payload["search"] = searched.to_dict()
+        emit_json(payload, out)
     else:
+        if searched is not None:
+            print(f"optimizer chose {spec.describe()} "
+                  f"({searched.method} {searched.objective})", file=out)
         print(report.describe(), file=out)
     if args.trace_out:
         document = chrome_trace_json([recorder.trace()], indent=2)
@@ -935,6 +1005,39 @@ def _chaos_parent(required: bool = False,
     return parent
 
 
+def _search_parent(require_constraint: bool = False
+                   ) -> argparse.ArgumentParser:
+    """Parent parser: the declarative deployment-search spec.
+
+    One spelling for every command that runs the optimizer: the method
+    (``--method exhaustive|surrogate``), the objective (inferred from
+    whichever of ``--deadline``/``--budget`` is given, or forced with
+    ``--objective``), and the grid restriction flags.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--method", choices=METHODS, default="exhaustive",
+                        help="how to search the deployment grid: price "
+                             "every candidate (exhaustive) or let a "
+                             "surrogate model pick candidates (surrogate)")
+    parent.add_argument("--objective", choices=("min-cost", "min-time"),
+                        default=None,
+                        help="search objective (default: min-cost with "
+                             "--deadline, min-time with --budget)")
+    group = parent.add_mutually_exclusive_group(required=require_constraint)
+    group.add_argument("--deadline", type=float, default=None,
+                       help="deadline in minutes (objective min-cost)")
+    group.add_argument("--budget", type=float, default=None,
+                       help="budget in dollars (objective min-time)")
+    parent.add_argument("--instances", default=None,
+                        help="comma-separated instance types to search "
+                             "(default: full catalog)")
+    parent.add_argument("--node-counts", dest="node_counts", default=None,
+                        help="comma-separated cluster sizes to search")
+    parent.add_argument("--slot-options", dest="slot_options", default=None,
+                        help="comma-separated slots-per-node options")
+    return parent
+
+
 def _workers_parent() -> argparse.ArgumentParser:
     """Parent parser: ``--workers`` thread-pool sizing.
 
@@ -971,43 +1074,27 @@ def make_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("catalog", parents=[as_json],
                           help="print the instance catalog")
 
-    explain = subparsers.add_parser("explain", parents=[workload, workers,
-                                                        as_json],
+    explain = subparsers.add_parser("explain",
+                                    parents=[workload, _search_parent(),
+                                             workers, as_json],
                                     help="EXPLAIN a workload")
     explain.add_argument("--dot", action="store_true",
                          help="emit Graphviz source instead of text")
     explain.add_argument("--search", action="store_true",
                          help="run the deployment optimizer and print every "
-                              "candidate it evaluated")
-    explain.add_argument("--instances", default=None,
-                         help="comma-separated instance types to search "
-                              "(with --search; default: full catalog)")
-    explain.add_argument("--node-counts", dest="node_counts", default=None,
-                         help="comma-separated cluster sizes to search "
-                              "(with --search)")
-    explain.add_argument("--slot-options", dest="slot_options", default=None,
-                         help="comma-separated slots-per-node options "
-                              "(with --search)")
-    explain_group = explain.add_mutually_exclusive_group()
-    explain_group.add_argument("--deadline", type=float, default=None,
-                               help="annotate candidates against a deadline "
-                                    "in minutes (with --search)")
-    explain_group.add_argument("--budget", type=float, default=None,
-                               help="annotate candidates against a budget "
-                                    "in dollars (with --search)")
+                              "candidate it evaluated (the search flags "
+                              "--method/--objective/--deadline/--budget and "
+                              "the grid restrictions apply)")
 
     subparsers.add_parser(
         "simulate", parents=[workload, cluster, as_json],
         help="predict wall-clock on one cluster")
 
-    optimize = subparsers.add_parser(
-        "optimize", parents=[workload, as_json],
+    subparsers.add_parser(
+        "optimize",
+        parents=[workload, _search_parent(require_constraint=True),
+                 as_json],
         help="search deployments under a constraint")
-    group = optimize.add_mutually_exclusive_group(required=True)
-    group.add_argument("--deadline", type=float,
-                       help="deadline in minutes (minimize cost)")
-    group.add_argument("--budget", type=float,
-                       help="budget in dollars (minimize time)")
 
     trace = subparsers.add_parser(
         "trace", parents=[workload, cluster, chaos_injection, workers,
@@ -1045,7 +1132,7 @@ def make_parser() -> argparse.ArgumentParser:
                               "in minutes")
 
     chaos = subparsers.add_parser(
-        "chaos", parents=[workload, cluster,
+        "chaos", parents=[workload, cluster, _search_parent(),
                           _chaos_parent(required=True,
                                         extra=(SCENARIO_SERVICE_KILL,)),
                           as_json],

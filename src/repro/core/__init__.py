@@ -71,6 +71,12 @@ from repro.core.plans import (
 )
 from repro.core.program import Program, Statement
 from repro.core.rewrite import naive_chain_flops, reorder_matmul_chains
+from repro.core.search import SearchResult, SearchSpec, search
+from repro.core.surrogate import (
+    SurrogateConfig,
+    SurrogateResult,
+    reliability_frontier,
+)
 from repro.core.session import CumulonSession
 from repro.core.workflow import (
     WorkflowOptimizer,
@@ -139,6 +145,12 @@ __all__ = [
     "ReliabilityModel",
     "ReliablePlan",
     "SearchSpace",
+    "SearchResult",
+    "SearchSpec",
+    "search",
+    "SurrogateConfig",
+    "SurrogateResult",
+    "reliability_frontier",
     "ElementwiseParams",
     "MatMulParams",
     "MatrixInfo",

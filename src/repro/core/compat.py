@@ -28,6 +28,20 @@ def warn_renamed(where: str, old_name: str, new_name: str) -> None:
         DeprecationWarning, stacklevel=3)
 
 
+def warn_deprecated_entry_point(where: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a superseded entry point.
+
+    This is the shim behind the four legacy optimizer solvers
+    (``minimize_cost_under_deadline``, its ``_reliable`` variant,
+    ``evaluate``, and ``evaluate_reliable``): they keep working and keep
+    returning the exact same results, but each call points the caller at
+    the unified :func:`repro.core.search.search` facade.
+    """
+    warnings.warn(
+        f"{where} is deprecated; use {replacement} instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def resolve_renamed_kwarg(where: str, old_name: str, new_name: str,
                           old_value, new_value, default=None):
     """Pick between a renamed kwarg's old and new spellings.

@@ -179,6 +179,11 @@ def explain_search(trace: SearchTrace) -> str:
         lines.append(
             f"  workers={stats.workers} wall={stats.wall_seconds:.2f}s "
             f"~{stats.estimated_speedup:.1f}x vs uncached sequential")
+        if stats.surrogate_rounds or stats.simulations_avoided:
+            lines.append(
+                f"  surrogate: {stats.surrogate_rounds} model-guided "
+                f"rounds, {stats.simulations_avoided} simulations avoided "
+                f"vs the full grid")
     return "\n".join(lines)
 
 

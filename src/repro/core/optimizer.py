@@ -37,7 +37,7 @@ from repro.core.benchmarking import HardwareCoefficients
 from repro.core.compiler import CompiledProgram, CompilerParams, compile_program
 from repro.core.costmodel import CostModelConfig, CumulonCostModel
 from repro.core.evalcache import EvalCache
-from repro.core.compat import resolve_renamed_kwarg
+from repro.core.compat import resolve_renamed_kwarg, warn_deprecated_entry_point
 from repro.core.physical import ElementwiseParams, MatMulParams, PhysicalContext
 from repro.core.plans import (
     DeploymentPlan,
@@ -332,6 +332,9 @@ class DeploymentOptimizer:
         self._step: int | None = None
         self._parent: int | None = None
         self._climb_result: DeploymentPlan | None = None
+        #: Stats of the most recent solver call, kept even when no
+        #: :class:`SearchTrace` is attached (what ``search()`` reports).
+        self.last_search_stats: SearchStats | None = None
 
     # -- plan evaluation -----------------------------------------------------
 
@@ -374,20 +377,38 @@ class DeploymentOptimizer:
                  tile_size: int | None = None,
                  priced: tuple[float, float] | None = None,
                  params: CompilerParams | None = None) -> DeploymentPlan:
-        """Price one (cluster, physical-plan, tile-size) combination.
+        """Deprecated entry point: price one deployment combination.
 
-        ``priced`` short-circuits the simulation with a pre-computed
-        ``(seconds, cost)`` pair — how parallel workers' results are folded
-        back in without re-simulating — while trace/metrics recording
-        still happens here, on the calling (main) thread.  ``params`` is
-        the deprecated spelling of ``compiler_params``.
+        Superseded by the declarative facade —
+        ``search(SearchSpec(objective="evaluate", cluster=spec,
+        compiler_params=...))`` — but kept as a warning shim returning the
+        exact same plan.  ``params`` is the (doubly) deprecated spelling
+        of ``compiler_params``.
         """
+        warn_deprecated_entry_point(
+            "DeploymentOptimizer.evaluate",
+            "repro.api.search(SearchSpec(objective=\"evaluate\", ...))")
         compiler_params = resolve_renamed_kwarg(
             "DeploymentOptimizer.evaluate", "params", "compiler_params",
             params, compiler_params)
         if compiler_params is None:
             raise ValidationError(
                 "DeploymentOptimizer.evaluate needs compiler_params")
+        return self._evaluate(spec, compiler_params, tile_size,
+                              priced=priced)
+
+    def _evaluate(self, spec: ClusterSpec,
+                  compiler_params: CompilerParams,
+                  tile_size: int | None = None,
+                  priced: tuple[float, float] | None = None
+                  ) -> DeploymentPlan:
+        """Price one (cluster, physical-plan, tile-size) combination.
+
+        ``priced`` short-circuits the simulation with a pre-computed
+        ``(seconds, cost)`` pair — how parallel workers' results are folded
+        back in without re-simulating — while trace/metrics recording
+        still happens here, on the calling (main) thread.
+        """
         tile_size = tile_size if tile_size is not None else self.tile_size
         compiled = self.compile_with(compiler_params, tile_size)
         if priced is None:
@@ -449,7 +470,7 @@ class DeploymentOptimizer:
         best: DeploymentPlan | None = None
         best_index: int | None = None
         for position, (tile_size, params) in enumerate(combos):
-            plan = self.evaluate(
+            plan = self._evaluate(
                 spec, params, tile_size,
                 priced=priced[position] if priced is not None else None)
             index = len(trace) - 1 if trace.enabled else None
@@ -480,17 +501,35 @@ class DeploymentOptimizer:
                 "hits": self.cache.hits,
                 "skipped": self._scenarios_skipped}
 
-    def _finish_search(self, baseline: dict) -> None:
-        """Attach this search's :class:`SearchStats` to the trace/metrics."""
+    def _finish_search(self, baseline: dict,
+                       surrogate_rounds: int = 0,
+                       grid_requests: int | None = None) -> SearchStats:
+        """Attach this search's :class:`SearchStats` to the trace/metrics.
+
+        ``grid_requests`` is the number of simulation requests a full
+        no-early-abort grid search would have issued for the same problem;
+        when given, the gap to this search's actual requests is recorded
+        as ``simulations_avoided`` (the surrogate's headline number).  The
+        stats also land on :attr:`last_search_stats` unconditionally, so
+        callers get them without wiring up a :class:`SearchTrace`, and on
+        the ``search.simulations`` / ``search.simulations_avoided``
+        metrics so the registry round-trips what ``--json`` reports.
+        """
         requests = self._sim_requests - baseline["requests"]
         hits = self.cache.hits - baseline["hits"]
+        avoided = 0
+        if grid_requests is not None:
+            avoided = max(0, grid_requests - requests)
         stats = SearchStats(
             sim_requests=requests,
             sims_executed=requests - hits,
             cache_hits=hits,
             scenarios_skipped=self._scenarios_skipped - baseline["skipped"],
             workers=self.workers,
-            wall_seconds=time.perf_counter() - baseline["started"])
+            wall_seconds=time.perf_counter() - baseline["started"],
+            simulations_avoided=avoided,
+            surrogate_rounds=surrogate_rounds)
+        self.last_search_stats = stats
         if self.search_trace.enabled:
             self.search_trace.set_stats(stats)
         if self.metrics.enabled:
@@ -498,6 +537,13 @@ class DeploymentOptimizer:
                                    stats.wall_seconds)
             self.metrics.set_gauge("optimizer.search_hit_rate",
                                    stats.hit_rate)
+            self.metrics.set_gauge("search.simulations",
+                                   stats.sim_requests)
+            self.metrics.set_gauge("search.simulations_avoided",
+                                   stats.simulations_avoided)
+            self.metrics.set_gauge("search.surrogate_rounds",
+                                   stats.surrogate_rounds)
+        return stats
 
     def _note_scenarios_skipped(self, count: int) -> None:
         """Account reliability scenarios proven irrelevant without running."""
@@ -570,9 +616,36 @@ class DeploymentOptimizer:
             self.metrics.set_gauge("optimizer.frontier_size", len(frontier))
         return frontier
 
+    def grid_sim_requests(self, space: SearchSpace | None = None,
+                          scenarios: int = 0) -> int:
+        """Simulation requests a full no-early-abort grid search issues.
+
+        The exhaustive baseline prices every spec across every physical
+        combo, and — in reliable mode — stress-tests every spec across
+        ``scenarios`` failure draws.  This is the denominator behind
+        ``SearchStats.simulations_avoided``.
+        """
+        space = space if space is not None else SearchSpace()
+        specs = len(self._grid_specs(space))
+        return specs * (len(self._combos(space)) + max(0, scenarios))
+
     def minimize_cost_under_deadline(self, deadline_seconds: float,
                                      space: SearchSpace | None = None
                                      ) -> DeploymentPlan:
+        """Deprecated entry point: cheapest grid plan within a deadline.
+
+        Superseded by ``search(SearchSpec(objective="min-cost",
+        deadline_seconds=...))``; kept as a warning shim returning the
+        same plan.
+        """
+        warn_deprecated_entry_point(
+            "DeploymentOptimizer.minimize_cost_under_deadline",
+            "repro.api.search(SearchSpec(objective=\"min-cost\", ...))")
+        return self._minimize_cost_under_deadline(deadline_seconds, space)
+
+    def _minimize_cost_under_deadline(self, deadline_seconds: float,
+                                      space: SearchSpace | None = None
+                                      ) -> DeploymentPlan:
         """Cheapest grid plan finishing within ``deadline_seconds``."""
         if deadline_seconds <= 0:
             raise ValidationError("deadline must be positive")
@@ -589,7 +662,12 @@ class DeploymentOptimizer:
     def minimize_time_under_budget(self, budget_dollars: float,
                                    space: SearchSpace | None = None
                                    ) -> DeploymentPlan:
-        """Fastest grid plan costing at most ``budget_dollars``."""
+        """Fastest grid plan costing at most ``budget_dollars``.
+
+        (Also reachable as ``search(SearchSpec(objective="min-time",
+        budget_dollars=...))``; unlike the four shimmed entry points this
+        one is not deprecated.)
+        """
         if budget_dollars <= 0:
             raise ValidationError("budget must be positive")
         plans = self.enumerate_plans(space)
@@ -607,6 +685,21 @@ class DeploymentOptimizer:
     def evaluate_reliable(self, spec: ClusterSpec, params: CompilerParams,
                           reliability: ReliabilityModel,
                           tile_size: int | None = None) -> ReliablePlan:
+        """Deprecated entry point: price one deployment across scenarios.
+
+        Superseded by ``search(SearchSpec(objective="evaluate",
+        cluster=spec, reliability=...))``; kept as a warning shim
+        returning the same :class:`ReliablePlan`.
+        """
+        warn_deprecated_entry_point(
+            "DeploymentOptimizer.evaluate_reliable",
+            "repro.api.search(SearchSpec(objective=\"evaluate\", "
+            "reliability=...))")
+        return self._evaluate_reliable(spec, params, reliability, tile_size)
+
+    def _evaluate_reliable(self, spec: ClusterSpec, params: CompilerParams,
+                           reliability: ReliabilityModel,
+                           tile_size: int | None = None) -> ReliablePlan:
         """Price one deployment across the model's N failure scenarios.
 
         Each scenario re-simulates the DAG under that scenario's seeded
@@ -615,7 +708,7 @@ class DeploymentOptimizer:
         as ``plan``.
         """
         tile_size = tile_size if tile_size is not None else self.tile_size
-        plan = self.evaluate(spec, params, tile_size)
+        plan = self._evaluate(spec, params, tile_size)
         reliable = self._stress_test(plan, reliability)
         assert reliable is not None  # never aborts early without a deadline
         if self.metrics.enabled:
@@ -682,6 +775,23 @@ class DeploymentOptimizer:
                             min_live_nodes=reliability.min_live_nodes)
 
     def minimize_cost_under_deadline_reliable(
+            self, deadline_seconds: float, reliability: ReliabilityModel,
+            space: SearchSpace | None = None,
+            early_abort: bool = True) -> ReliablePlan:
+        """Deprecated entry point: cheapest reliable plan within a deadline.
+
+        Superseded by ``search(SearchSpec(objective="min-cost",
+        deadline_seconds=..., reliability=...))``; kept as a warning shim
+        returning the same :class:`ReliablePlan`.
+        """
+        warn_deprecated_entry_point(
+            "DeploymentOptimizer.minimize_cost_under_deadline_reliable",
+            "repro.api.search(SearchSpec(objective=\"min-cost\", "
+            "reliability=...))")
+        return self._minimize_cost_under_deadline_reliable(
+            deadline_seconds, reliability, space, early_abort=early_abort)
+
+    def _minimize_cost_under_deadline_reliable(
             self, deadline_seconds: float, reliability: ReliabilityModel,
             space: SearchSpace | None = None,
             early_abort: bool = True) -> ReliablePlan:

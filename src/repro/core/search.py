@@ -1,0 +1,260 @@
+"""The unified deployment-search facade: one spec, one ``search()``.
+
+The optimizer grew four imperative entry points — price one deployment
+(``evaluate``), price it across failure scenarios (``evaluate_reliable``),
+and the two grid solvers (``minimize_cost_under_deadline`` and its
+``_reliable`` variant).  Each hard-coded one combination of objective,
+constraint, and reliability handling, and none of them could say *how* to
+search.  This module collapses them behind a declarative
+:class:`SearchSpec`: what to optimize (``objective``), under which
+constraint (``deadline_seconds`` / ``budget_dollars``), over which grid
+(``space``), with which failure model (``reliability``), and — the new
+axis — by which ``method``: the exhaustive grid scan, or the
+surrogate-guided search from :mod:`repro.core.surrogate` that prices only
+a fraction of the grid.
+
+The old entry points keep working as deprecation shims (see
+:mod:`repro.core.compat`) and return bit-identical results; new code goes
+through ``search(optimizer, spec)`` and gets a :class:`SearchResult`
+carrying the chosen plan, the reliability stress-test when one ran, the
+three-objective reliability frontier the surrogate explored, and the
+:class:`~repro.observability.search.SearchStats` for the whole search —
+including ``simulations_avoided``, the surrogate's headline number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.instances import ClusterSpec
+from repro.core.compiler import CompilerParams
+from repro.core.optimizer import (
+    DeploymentOptimizer,
+    ReliabilityModel,
+    ReliablePlan,
+    SearchSpace,
+)
+from repro.core.plans import DeploymentPlan
+from repro.core.surrogate import (
+    SurrogateConfig,
+    reliability_frontier,
+    surrogate_minimize_cost_under_deadline,
+    surrogate_minimize_time_under_budget,
+)
+from repro.errors import ValidationError
+from repro.observability.search import SearchStats
+
+#: Minimize dollar cost subject to a wall-clock deadline.
+OBJECTIVE_MIN_COST = "min-cost"
+#: Minimize wall-clock time subject to a dollar budget.
+OBJECTIVE_MIN_TIME = "min-time"
+#: Price one fixed deployment (no search).
+OBJECTIVE_EVALUATE = "evaluate"
+OBJECTIVES = (OBJECTIVE_MIN_COST, OBJECTIVE_MIN_TIME, OBJECTIVE_EVALUATE)
+
+#: Scan the full type x count x slots grid (the ground-truth oracle).
+METHOD_EXHAUSTIVE = "exhaustive"
+#: Model-guided search pricing a fraction of the grid.
+METHOD_SURROGATE = "surrogate"
+METHODS = (METHOD_EXHAUSTIVE, METHOD_SURROGATE)
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Declarative description of one deployment search.
+
+    Exactly one constraint accompanies each objective: ``min-cost`` needs
+    ``deadline_seconds``, ``min-time`` needs ``budget_dollars``, and
+    ``evaluate`` needs a fixed ``cluster`` plus ``compiler_params``
+    (it prices that single deployment instead of searching).  The
+    optional ``reliability`` block switches the search to the
+    scenario-stress-tested solvers; ``method`` picks between the
+    exhaustive grid and the surrogate-guided search (``surrogate`` tunes
+    the latter and is only legal with it).
+    """
+
+    objective: str = OBJECTIVE_MIN_COST
+    method: str = METHOD_EXHAUSTIVE
+    deadline_seconds: float | None = None
+    budget_dollars: float | None = None
+    space: SearchSpace | None = None
+    cluster: ClusterSpec | None = None
+    compiler_params: CompilerParams | None = None
+    tile_size: int | None = None
+    reliability: ReliabilityModel | None = None
+    surrogate: SurrogateConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValidationError(
+                f"objective must be one of {OBJECTIVES}, "
+                f"got {self.objective!r}")
+        if self.method not in METHODS:
+            raise ValidationError(
+                f"method must be one of {METHODS}, got {self.method!r}")
+        if self.surrogate is not None and self.method != METHOD_SURROGATE:
+            raise ValidationError(
+                "a surrogate config needs method=\"surrogate\"")
+        if self.objective == OBJECTIVE_MIN_COST:
+            if self.deadline_seconds is None:
+                raise ValidationError(
+                    "objective \"min-cost\" needs deadline_seconds")
+            if self.budget_dollars is not None:
+                raise ValidationError(
+                    "objective \"min-cost\" takes no budget_dollars "
+                    "(use objective \"min-time\")")
+            self._reject_fixed_deployment()
+        elif self.objective == OBJECTIVE_MIN_TIME:
+            if self.budget_dollars is None:
+                raise ValidationError(
+                    "objective \"min-time\" needs budget_dollars")
+            if self.deadline_seconds is not None:
+                raise ValidationError(
+                    "objective \"min-time\" takes no deadline_seconds "
+                    "(use objective \"min-cost\")")
+            if self.reliability is not None:
+                raise ValidationError(
+                    "objective \"min-time\" has no reliability-aware "
+                    "solver yet; drop the reliability block")
+            self._reject_fixed_deployment()
+        else:  # evaluate
+            if self.cluster is None or self.compiler_params is None:
+                raise ValidationError(
+                    "objective \"evaluate\" needs cluster and "
+                    "compiler_params")
+            if self.deadline_seconds is not None \
+                    or self.budget_dollars is not None:
+                raise ValidationError(
+                    "objective \"evaluate\" prices one fixed deployment; "
+                    "it takes no deadline or budget")
+            if self.method != METHOD_EXHAUSTIVE:
+                raise ValidationError(
+                    "objective \"evaluate\" prices one fixed deployment; "
+                    "method does not apply")
+
+    def _reject_fixed_deployment(self) -> None:
+        if self.cluster is not None or self.compiler_params is not None:
+            raise ValidationError(
+                f"objective {self.objective!r} searches the grid; "
+                f"cluster/compiler_params only apply to \"evaluate\"")
+
+
+@dataclass
+class SearchResult:
+    """What one ``search()`` call found.
+
+    ``plan`` is always the failure-free deployment plan; ``reliable``
+    carries the scenario stress-test when the spec had a reliability
+    block.  ``reliable_frontier`` is the three-objective Pareto skyline
+    (p95 time, mean cost, completion rate) over the reliable candidates
+    the surrogate stress-tested — empty for exhaustive searches, which
+    do not retain per-candidate scenario pricings.
+    """
+
+    plan: DeploymentPlan
+    stats: SearchStats
+    objective: str
+    method: str
+    reliable: ReliablePlan | None = None
+    reliable_frontier: list[ReliablePlan] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-shaped summary (the CLI's ``--json`` building block)."""
+        plan = self.plan
+        document = {
+            "objective": self.objective,
+            "method": self.method,
+            "instance_type": plan.spec.instance_type.name,
+            "num_nodes": plan.spec.num_nodes,
+            "slots_per_node": plan.spec.slots_per_node,
+            "estimated_seconds": plan.estimated_seconds,
+            "estimated_cost": plan.estimated_cost,
+            "stats": self.stats.to_dict(),
+        }
+        if self.reliable is not None:
+            document["reliable"] = {
+                "completion_rate": self.reliable.completion_rate,
+                "mean_seconds": self.reliable.mean_seconds,
+                "p95_seconds": self.reliable.p95_seconds,
+                "mean_cost": self.reliable.mean_cost,
+                "scenarios": len(self.reliable.scenario_seconds),
+            }
+        return document
+
+
+def search(optimizer: DeploymentOptimizer, spec: SearchSpec) -> SearchResult:
+    """Run one declarative deployment search on ``optimizer``.
+
+    Dispatches to the solver the spec describes and normalizes the
+    result: whatever the combination of objective, constraint,
+    reliability, and method, the caller gets the same
+    :class:`SearchResult` shape back.  Solver behavior is identical to
+    the legacy entry points — the exhaustive paths *are* the legacy
+    solvers, minus the deprecation warning.
+
+    Raises :class:`~repro.errors.InfeasibleConstraintError` when no
+    deployment in the grid satisfies the constraint (both methods price
+    the full grid before concluding that).
+    """
+    if spec.objective == OBJECTIVE_EVALUATE:
+        return _evaluate(optimizer, spec)
+    if spec.method == METHOD_SURROGATE:
+        return _surrogate_search(optimizer, spec)
+    return _exhaustive_search(optimizer, spec)
+
+
+def _evaluate(optimizer: DeploymentOptimizer, spec: SearchSpec
+              ) -> SearchResult:
+    """Price the fixed deployment a spec with ``objective="evaluate"``."""
+    baseline = optimizer._begin_search()
+    reliable = None
+    try:
+        if spec.reliability is not None:
+            reliable = optimizer._evaluate_reliable(
+                spec.cluster, spec.compiler_params, spec.reliability,
+                spec.tile_size)
+            plan = reliable.plan
+        else:
+            plan = optimizer._evaluate(spec.cluster, spec.compiler_params,
+                                       spec.tile_size)
+    finally:
+        stats = optimizer._finish_search(baseline)
+    return SearchResult(plan=plan, stats=stats, objective=spec.objective,
+                        method=spec.method, reliable=reliable)
+
+
+def _exhaustive_search(optimizer: DeploymentOptimizer, spec: SearchSpec
+                       ) -> SearchResult:
+    reliable = None
+    if spec.objective == OBJECTIVE_MIN_TIME:
+        plan = optimizer.minimize_time_under_budget(
+            spec.budget_dollars, spec.space)
+    elif spec.reliability is not None:
+        reliable = optimizer._minimize_cost_under_deadline_reliable(
+            spec.deadline_seconds, spec.reliability, spec.space)
+        plan = reliable.plan
+    else:
+        plan = optimizer._minimize_cost_under_deadline(
+            spec.deadline_seconds, spec.space)
+    assert optimizer.last_search_stats is not None
+    return SearchResult(plan=plan, stats=optimizer.last_search_stats,
+                        objective=spec.objective, method=spec.method,
+                        reliable=reliable)
+
+
+def _surrogate_search(optimizer: DeploymentOptimizer, spec: SearchSpec
+                      ) -> SearchResult:
+    if spec.objective == OBJECTIVE_MIN_TIME:
+        outcome = surrogate_minimize_time_under_budget(
+            optimizer, spec.budget_dollars, spec.space,
+            config=spec.surrogate)
+    else:
+        outcome = surrogate_minimize_cost_under_deadline(
+            optimizer, spec.deadline_seconds, spec.space,
+            reliability=spec.reliability, config=spec.surrogate)
+    assert optimizer.last_search_stats is not None
+    return SearchResult(
+        plan=outcome.plan, stats=optimizer.last_search_stats,
+        objective=spec.objective, method=spec.method,
+        reliable=outcome.reliable,
+        reliable_frontier=reliability_frontier(outcome.reliable_candidates))

@@ -9,7 +9,8 @@ ingestion — behind one object::
     session.ingest_array("G", g)
     result = session.run(program)          # executes on the session store
     handle = session.submit(program)       # async: a service JobHandle
-    plan = session.optimize(big_program).minimize_cost_under_deadline(3600)
+    plan = search(session.optimize(big_program),
+                  SearchSpec(deadline_seconds=3600)).plan
     print(session.trace, session.metrics.snapshot())
 
 Everything the session stores lives in one simulated HDFS cluster, so

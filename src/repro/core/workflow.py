@@ -162,7 +162,8 @@ class WorkflowOptimizer:
             share = ((fastest[stage.name] + self.startup_seconds)
                      / total_fastest) * deadline_seconds
             stage_deadline = max(1.0, share - self.startup_seconds)
-            plan = self._optimizers[stage.name].minimize_cost_under_deadline(
+            stage_optimizer = self._optimizers[stage.name]
+            plan = stage_optimizer._minimize_cost_under_deadline(
                 stage_deadline, space)
             assignments.append(StageAssignment(stage, plan))
             stage_total = plan.estimated_seconds + self.startup_seconds

@@ -32,6 +32,7 @@ STATUS_SKIPPED = "skipped"      # never priced (e.g. hill-climb revisits)
 #: Candidate origins.
 ORIGIN_GRID = "grid"
 ORIGIN_HILL_CLIMB = "hill-climb"
+ORIGIN_SURROGATE = "surrogate"
 ORIGIN_ADHOC = "adhoc"
 
 
@@ -58,6 +59,13 @@ class SearchStats:
     #: Thread-pool size used for candidate evaluation (0 = sequential).
     workers: int = 0
     wall_seconds: float = 0.0
+    #: Simulations the search never requested at all, relative to pricing
+    #: the full grid without early abort (the surrogate's headline number;
+    #: 0 for exhaustive searches, which request the whole grid).
+    simulations_avoided: int = 0
+    #: Model-guided acquisition rounds a surrogate search ran (0 = the
+    #: search was exhaustive).
+    surrogate_rounds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -90,7 +98,28 @@ class SearchStats:
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "estimated_speedup": self.estimated_speedup,
+            "simulations_avoided": self.simulations_avoided,
+            "surrogate_rounds": self.surrogate_rounds,
         }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SearchStats":
+        """Rebuild stats from :meth:`to_dict` output (derived keys ignored).
+
+        This is the ``--json`` round-trip the benchdiff gate leans on:
+        ``SearchStats.from_dict(stats.to_dict()) == stats`` for every
+        stored field (``hit_rate``/``estimated_speedup`` are recomputed).
+        """
+        return cls(
+            sim_requests=int(document.get("sim_requests", 0)),
+            sims_executed=int(document.get("sims_executed", 0)),
+            cache_hits=int(document.get("cache_hits", 0)),
+            scenarios_skipped=int(document.get("scenarios_skipped", 0)),
+            workers=int(document.get("workers", 0)),
+            wall_seconds=float(document.get("wall_seconds", 0.0)),
+            simulations_avoided=int(document.get("simulations_avoided", 0)),
+            surrogate_rounds=int(document.get("surrogate_rounds", 0)),
+        )
 
 
 def format_matmul(matmul) -> str:

@@ -242,7 +242,7 @@ class AdmissionController:
             plan = optimizer.best_params_for(self.spec, self.space,
                                              priced=priced)
         else:
-            plan = optimizer.evaluate(self.spec, CompilerParams())
+            plan = optimizer._evaluate(self.spec, CompilerParams())
         compiled = optimizer.compile_with(plan.compiler_params,
                                           plan.tile_size or None)
         cap = 1
